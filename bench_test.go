@@ -1,0 +1,388 @@
+// Package repro's root benchmark harness: one benchmark per table and
+// figure of the paper (see DESIGN.md §4 and EXPERIMENTS.md). Derived
+// quantities (cycles, ratios, plateaus) are attached with
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates every
+// published artifact in one run.
+package repro
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fp16"
+	"repro/internal/kernels"
+	"repro/internal/mfix"
+	"repro/internal/perfmodel"
+	"repro/internal/solver"
+	"repro/internal/stencil"
+	"repro/internal/wse"
+)
+
+// BenchmarkTable1_OperationCounts measures one mixed-precision BiCGStab
+// iteration and reports the Table I operation counts per meshpoint.
+func BenchmarkTable1_OperationCounts(b *testing.B) {
+	m := stencil.Mesh{NX: 8, NY: 8, NZ: 16}
+	op := stencil.RandomDiagDominant(m, 1.5, rand.New(rand.NewSource(1)))
+	norm, diag := op.Normalize()
+	xe := make([]float64, m.N())
+	for i := range xe {
+		xe[i] = float64(i%5) - 2
+	}
+	b64 := make([]float64, m.N())
+	op.Apply(b64, xe)
+	sb := stencil.ScaleRHS(b64, diag)
+
+	ctx := solver.NewMixed()
+	a := ctx.NewOperator(norm)
+	bv := ctx.NewVector(m.N())
+	for i, v := range sb {
+		bv.Set(i, v)
+	}
+	// Differencing 3-iteration and 1-iteration runs isolates the
+	// steady-state per-iteration cost from the r0 setup.
+	runN := func(iters int) solver.OpCounts {
+		xv := ctx.NewVector(m.N())
+		ctx.Counters().Reset()
+		if _, err := solver.BiCGStab(ctx, a, bv, xv, solver.Options{MaxIter: iters}); err != nil {
+			b.Fatal(err)
+		}
+		return ctx.Counters().Totals()
+	}
+	var c1, c3 solver.OpCounts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c1 = runN(1)
+		c3 = runN(3)
+	}
+	n := float64(m.N())
+	b.ReportMetric(float64(c3.HPAdd-c1.HPAdd)/2/n, "HP+/pt(paper=18)")
+	b.ReportMetric(float64(c3.HPMul-c1.HPMul)/2/n, "HPx/pt(paper=22)")
+	b.ReportMetric(float64(c3.SPAdd-c1.SPAdd)/2/n, "SP+/pt(paper=4)")
+}
+
+// BenchmarkSectionV_WSEIteration cycle-simulates wafer BiCGStab
+// iterations and reports the per-iteration cycle count plus the
+// calibrated extrapolation to the paper's 600×595×1536 headline.
+func BenchmarkSectionV_WSEIteration(b *testing.B) {
+	m := stencil.Mesh{NX: 8, NY: 8, NZ: 64}
+	op := stencil.MomentumLike(m, 0.02, [3]float64{1, 0.2, -0.1}, 0.1, 1, 0.1)
+	norm, diag := op.Normalize()
+	xe := make([]float64, m.N())
+	for i := range xe {
+		xe[i] = 0.5 + float64(i%3)*0.1
+	}
+	b64 := make([]float64, m.N())
+	op.Apply(b64, xe)
+	sb := stencil.ScaleRHS(b64, diag)
+	b16 := fp16.FromFloat64Slice(sb)
+
+	var perIter float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		mach := wse.New(wse.CS1(m.NX, m.NY))
+		w, err := kernels.NewBiCGStabWSE(mach, stencil.NewOp7Half(norm))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		_, st, err := w.Solve(b16, kernels.WSEOptions{MaxIter: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		perIter = float64(st.PerIteration.Total())
+	}
+	b.ReportMetric(perIter, "sim-cycles/iter")
+	us, pf, _ := perfmodel.HeadlinePrediction(perfmodel.PaperModel())
+	b.ReportMetric(us, "headline-µs/iter(paper=28.1)")
+	b.ReportMetric(pf, "headline-PFLOPS(paper=0.86)")
+}
+
+// BenchmarkAllReduce_Latency cycle-simulates the Figure 6 AllReduce and
+// reports latency versus the fabric diameter plus the full-wafer
+// extrapolation (paper: < 1.5 µs).
+func BenchmarkAllReduce_Latency(b *testing.B) {
+	mach := wse.New(wse.CS1(48, 48))
+	ar, err := kernels.NewAllReduce(mach, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]float32, 48*48)
+	for i := range vals {
+		vals[i] = float32(i % 11)
+	}
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ar.Run(vals, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles(48x48)")
+	b.ReportMetric(float64(cycles)/float64(48+48-2), "cycles/diameter")
+	b.ReportMetric(perfmodel.CS1().AllReduceSeconds()*1e6, "wafer-µs(paper<1.5)")
+}
+
+// BenchmarkFigure7_ClusterScaling370 evaluates the Joule model over the
+// published sweep for the 370³ mesh, with a live rank-parallel solve as
+// the measured workload. The key published shape: scaling stalls beyond
+// 8K cores.
+func BenchmarkFigure7_ClusterScaling370(b *testing.B) {
+	benchScaling(b, cluster.Fig7Mesh)
+}
+
+// BenchmarkFigure8_ClusterScaling600 is the 600³ series: 75 ms at 1,024
+// cores scaling to ~6 ms at 16,384 — ~214× slower than the CS-1.
+func BenchmarkFigure8_ClusterScaling600(b *testing.B) {
+	benchScaling(b, cluster.Fig8Mesh)
+}
+
+func benchScaling(b *testing.B, mesh stencil.Mesh) {
+	cfg := cluster.Joule()
+	// Measured part: a real 8-rank goroutine solve of a reduced mesh.
+	m := stencil.Mesh{NX: 16, NY: 16, NZ: 16}
+	norm, _ := stencil.ConvectionDiffusion(m, 0.2, [3]float64{1, -0.3, 0.2}, 0.25).Normalize()
+	rhs := make([]float64, m.N())
+	rng := rand.New(rand.NewSource(4))
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cluster.ParallelBiCGStab(norm, rhs, 8, 10, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	pts := cluster.StrongScaling(cfg, mesh, cluster.PublishedCores)
+	for _, p := range pts {
+		b.ReportMetric(p.Seconds*1e3, "model-ms@"+itoa(p.Cores))
+	}
+	b.ReportMetric(pts[3].Seconds/pts[4].Seconds, "gain-8K-to-16K")
+}
+
+func itoa(n int) string {
+	if n >= 1024 && n%1024 == 0 {
+		return strconv.Itoa(n/1024) + "K"
+	}
+	return strconv.Itoa(n)
+}
+
+// BenchmarkFigure9_MixedPrecisionResidual runs the precision study and
+// reports the final residuals of both arithmetics: fp32 keeps
+// converging; mixed plateaus near fp16 ε (paper: ~1e-2).
+func BenchmarkFigure9_MixedPrecisionResidual(b *testing.B) {
+	var series []core.Fig9Series
+	for i := 0; i < b.N; i++ {
+		series = core.Fig9Experiment(20, 80, 20, 15)
+	}
+	f32 := series[0].History
+	mx := series[1].History
+	b.ReportMetric(f32[len(f32)-1], "fp32-final-residual")
+	b.ReportMetric(mx[len(mx)-1], "mixed-plateau(paper~1e-2)")
+}
+
+// BenchmarkTable2_SimpleCycles runs real SIMPLE iterations on the cavity
+// (the measured part) and reports the Table II projection: 80–125
+// timesteps/s on the CS-1 at 600³.
+func BenchmarkTable2_SimpleCycles(b *testing.B) {
+	c := mfix.NewCavity(8, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	pr := mfix.ProjectCS1(perfmodel.PaperModel(), 600, 600, 600, mfix.PaperSimpleParams())
+	b.ReportMetric(pr.StepsPerSecond.Min, "steps/s-min(paper=80)")
+	b.ReportMetric(pr.StepsPerSecond.Max, "steps/s-max(paper=125)")
+	joule := mfix.JouleTimestepSeconds(cluster.Joule(), cluster.Fig8Mesh, 16384, mfix.PaperSimpleParams())
+	mid := (pr.StepSeconds.Min + pr.StepSeconds.Max) / 2
+	b.ReportMetric(joule/mid, "speedup-vs-16K-Joule(paper>200)")
+}
+
+// Benchmark2D_SpMVEfficiency runs the 2D block-halo SpMV and reports the
+// measured redundant-work overhead against the analytic model (paper:
+// < 20% at 8×8 blocks, max block 38×38).
+func Benchmark2D_SpMVEfficiency(b *testing.B) {
+	m := stencil.Mesh2D{NX: 64, NY: 64}
+	norm, _ := stencil.Poisson9(m, 1).Normalize9()
+	p, err := kernels.NewSpMV2D(norm, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := make([]fp16.Float16, m.N())
+	for i := range src {
+		src[i] = fp16.FromFloat64(float64(i%13) / 13)
+	}
+	dst := make([]fp16.Float16, m.N())
+	b.SetBytes(int64(m.N() * 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Apply(dst, src)
+	}
+	b.StopTimer()
+	b.ReportMetric(100*perfmodel.Overhead2D(8), "model-overhead-%(b=8)")
+	b.ReportMetric(float64(perfmodel.MaxBlock2D(48*1024)), "max-block(paper=38)")
+}
+
+// BenchmarkFigure1_MachineBalance regenerates the machine-balance table
+// and reports the CS-1's advantage over the 2016-era node.
+func BenchmarkFigure1_MachineBalance(b *testing.B) {
+	var entries []perfmodel.BalanceEntry
+	for i := 0; i < b.N; i++ {
+		entries = perfmodel.MachineBalance()
+	}
+	var cs1, xeon perfmodel.BalanceEntry
+	for _, e := range entries {
+		if e.WaferScale {
+			cs1 = e
+		}
+		if e.Year == 2016 {
+			xeon = e
+		}
+	}
+	b.ReportMetric(xeon.FlopsPerWordMemory/cs1.FlopsPerWordMemory, "memory-balance-advantage")
+	b.ReportMetric(xeon.FlopsPerWordNetwork/cs1.FlopsPerWordNetwork, "network-balance-advantage")
+}
+
+// BenchmarkSpMV3D_WaferKernel measures the cycle-level Listing 1 SpMV
+// itself: simulated cycles per z-element (the performance model's 3.0
+// coefficient) and host-side simulation throughput.
+func BenchmarkSpMV3D_WaferKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := stencil.Mesh{NX: 8, NY: 8, NZ: 64}
+	norm, _ := stencil.RandomDiagDominant(m, 1.5, rng).Normalize()
+	h := stencil.NewOp7Half(norm)
+	mach := wse.New(wse.CS1(m.NX, m.NY))
+	p, err := kernels.NewSpMV3D(mach, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := make([]fp16.Float16, m.N())
+	for i := range v {
+		v[i] = fp16.FromFloat64(rng.Float64())
+	}
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.LoadVector(v)
+		c, err := p.Run(1 << 22)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = c
+	}
+	b.ReportMetric(float64(cycles)/float64(m.NZ), "sim-cycles/z-elem")
+}
+
+// BenchmarkAblation_AllReduceVsTree compares the paper's row/column
+// AllReduce latency model with an idealized binary-tree reduction
+// (2·log₂N hops·avg-distance), quantifying why the mesh-aligned pattern
+// wins on a 2D fabric.
+func BenchmarkAblation_AllReduceVsTree(b *testing.B) {
+	w := perfmodel.CS1()
+	var rowcol float64
+	for i := 0; i < b.N; i++ {
+		rowcol = w.AllReduceCycles()
+	}
+	// A binary tree over 2D mesh still pays total wire delay ≥ diameter
+	// per direction, plus log-depth serialization at each level.
+	lg := 18.45                       // log2(602*595)
+	tree := float64(w.W+w.H-2) + lg*4 // per-level handshake cost
+	b.ReportMetric(rowcol, "rowcol-cycles")
+	b.ReportMetric(tree, "tree-cycles-ideal")
+	b.ReportMetric(tree/rowcol, "tree/rowcol")
+}
+
+// BenchmarkAblation_FusedReductions quantifies the communication-hiding
+// variant the paper declined (§IV-3): fusing the two ω reductions into
+// one AllReduce wave. Runs the sequential fused solver (bit-identical
+// numerics) and reports the modelled headline saving.
+func BenchmarkAblation_FusedReductions(b *testing.B) {
+	m := stencil.Mesh{NX: 8, NY: 8, NZ: 16}
+	op := stencil.RandomDiagDominant(m, 1.5, rand.New(rand.NewSource(6)))
+	norm, diag := op.Normalize()
+	xe := make([]float64, m.N())
+	for i := range xe {
+		xe[i] = float64(i % 3)
+	}
+	rhs := make([]float64, m.N())
+	op.Apply(rhs, xe)
+	sb := stencil.ScaleRHS(rhs, diag)
+	ctx := solver.NewF64()
+	a := ctx.NewOperator(norm)
+	bv := ctx.NewVector(m.N())
+	for i, v := range sb {
+		bv.Set(i, v)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		xv := ctx.NewVector(m.N())
+		if _, err := solver.BiCGStabFused(ctx, a, bv, xv, solver.Options{MaxIter: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(100*perfmodel.ReductionHidingSavings(perfmodel.PaperModel()), "headline-saving-%")
+}
+
+// BenchmarkAblation_ZSweep evaluates the paper's "effect of changing
+// mesh size and shape" prediction: iteration time and PFLOPS across Z at
+// full fabric (throughput improves with Z as the AllReduce amortizes,
+// bounded by the 48 KB capacity at Z≈2457).
+func BenchmarkAblation_ZSweep(b *testing.B) {
+	var pts []perfmodel.ShapePoint
+	for i := 0; i < b.N; i++ {
+		pts = perfmodel.ShapeSweep(perfmodel.PaperModel(), []int{256, 512, 1024, 1536, 2048})
+	}
+	for _, p := range pts {
+		b.ReportMetric(p.PFLOPS, "PFLOPS@Z="+strconv.Itoa(p.Z))
+	}
+	b.ReportMetric(float64(perfmodel.MaxZ(48*1024)), "maxZ-capacity")
+}
+
+// BenchmarkAblation_FIFODepth sweeps the SpMV FIFO depth (paper uses 20)
+// and reports the cycle cost at depth 4 relative to 20 — the stall
+// sensitivity of the producer/consumer decoupling.
+func BenchmarkAblation_FIFODepth(b *testing.B) {
+	// The FIFO depth is a compile-time constant of the kernel; the sweep
+	// uses the queue-depth knob of the fabric, which throttles the same
+	// producer/consumer path.
+	rng := rand.New(rand.NewSource(9))
+	m := stencil.Mesh{NX: 6, NY: 6, NZ: 64}
+	norm, _ := stencil.RandomDiagDominant(m, 1.5, rng).Normalize()
+	h := stencil.NewOp7Half(norm)
+	v := make([]fp16.Float16, m.N())
+	for i := range v {
+		v[i] = fp16.FromFloat64(rng.Float64())
+	}
+	run := func(queueDepth int) float64 {
+		cfg := wse.CS1(m.NX, m.NY)
+		cfg.QueueDepth = queueDepth
+		mach := wse.New(cfg)
+		p, err := kernels.NewSpMV3D(mach, h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.LoadVector(v)
+		c, err := p.Run(1 << 22)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(c)
+	}
+	var shallow, deep float64
+	for i := 0; i < b.N; i++ {
+		shallow = run(1)
+		deep = run(8)
+	}
+	b.ReportMetric(shallow, "cycles-depth1")
+	b.ReportMetric(deep, "cycles-depth8")
+	b.ReportMetric(shallow/deep, "depth1/depth8")
+}

@@ -1,0 +1,54 @@
+// Command repro regenerates every table and figure of the paper and
+// prints paper-vs-measured comparisons. Run with no arguments for the
+// full suite, or -exp to select one experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	exp := flag.String("exp", "all",
+		"experiment: table1|headline|allreduce|fig7|fig8|fig9|table2|spmv2d|fig1|memory|routing|all")
+	fig9N := flag.Int("fig9n", 25, "fig9 mesh scale: runs 25×100×25 by default (paper: 100×400×100)")
+	flag.Parse()
+
+	runs := []struct {
+		name string
+		fn   func() string
+	}{
+		{"table1", core.Table1Report},
+		{"headline", core.HeadlineReport},
+		{"allreduce", core.AllReduceReport},
+		{"fig7", core.ScalingReport}, // figs 7+8 share the report
+		{"fig8", core.ScalingReport},
+		{"fig9", func() string { return core.Fig9Report(*fig9N, *fig9N*4, *fig9N, 15) }},
+		{"table2", core.Table2Report},
+		{"spmv2d", core.SpMV2DReport},
+		{"fig1", core.Fig1Report},
+		{"memory", core.MemoryReport},
+		{"routing", core.RoutingReport},
+	}
+	found := false
+	seen := map[string]bool{}
+	for _, r := range runs {
+		if *exp != "all" && r.name != *exp {
+			continue
+		}
+		if seen[r.name] || (r.name == "fig8" && *exp == "all") {
+			continue // scaling report covers both figures
+		}
+		seen[r.name] = true
+		found = true
+		fmt.Println("==============================================================")
+		fmt.Println(r.fn())
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,60 @@
+// Command wsesim solves a 7-point-stencil system with BiCGStab on the
+// cycle-level wafer simulator and reports convergence plus the
+// per-iteration cycle breakdown, extrapolated to wall-clock time at the
+// CS-1 clock.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+	"repro/internal/stencil"
+)
+
+func main() {
+	nx := flag.Int("nx", 8, "fabric/mesh width")
+	ny := flag.Int("ny", 8, "fabric/mesh height")
+	nz := flag.Int("nz", 64, "Z points per tile (even)")
+	iters := flag.Int("iters", 20, "max BiCGStab iterations")
+	tol := flag.Float64("tol", 1e-3, "relative residual tolerance")
+	problem := flag.String("problem", "momentum", "poisson|momentum|random")
+	flag.Parse()
+
+	m := stencil.Mesh{NX: *nx, NY: *ny, NZ: *nz}
+	var op *stencil.Op7
+	switch *problem {
+	case "poisson":
+		op = stencil.Poisson(m, 1)
+	case "random":
+		op = stencil.RandomDiagDominant(m, 1.5, rand.New(rand.NewSource(1)))
+	default:
+		op = stencil.MomentumLike(m, 0.02, [3]float64{1, 0.2, -0.1}, 0.1, 1, 0.1)
+	}
+	xe := make([]float64, m.N())
+	rng := rand.New(rand.NewSource(7))
+	for i := range xe {
+		xe[i] = rng.Float64()
+	}
+	p, _ := core.NewProblem(op, xe)
+
+	res, err := core.Solve(p, core.Options{Backend: core.Wafer, MaxIter: *iters, Tol: *tol})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mesh %v on %d×%d fabric (%s problem)\n", m, *nx, *ny, *problem)
+	fmt.Printf("iterations: %d  converged: %v  true residual: %.3e\n",
+		res.Iterations, res.Converged, res.TrueResidual)
+	pc := res.Cycles
+	clock := 1.1e9
+	fmt.Printf("cycles/iteration: %d  (spmv %d, dot %d, allreduce %d, axpy %d)\n",
+		pc.Total(), pc.SpMV, pc.Dot, pc.AllReduce, pc.Axpy)
+	fmt.Printf("at %.1f GHz: %.2f µs/iteration\n", clock/1e9, float64(pc.Total())/clock*1e6)
+
+	model := perfmodel.SimModel()
+	w := perfmodel.WSE{W: *nx, H: *ny, ClockHz: clock, SIMD: 4}
+	fmt.Printf("model prediction: %.0f cycles/iteration\n", model.IterationCycles(w, *nz).Total())
+}

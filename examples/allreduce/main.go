@@ -1,0 +1,39 @@
+// AllReduce latency demo: cycle-simulate the Figure 6 wafer-wide scalar
+// reduction across fabric sizes and compare against the diameter, then
+// extrapolate to the full 602×595 wafer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/kernels"
+	"repro/internal/perfmodel"
+	"repro/internal/wse"
+)
+
+func main() {
+	fmt.Println("fabric      cycles  diameter  ratio")
+	for _, dims := range [][2]int{{4, 4}, {8, 8}, {16, 16}, {32, 32}, {64, 64}, {96, 64}} {
+		mach := wse.New(wse.CS1(dims[0], dims[1]))
+		ar, err := kernels.NewAllReduce(mach, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vals := make([]float32, dims[0]*dims[1])
+		for i := range vals {
+			vals[i] = float32(i%7) * 0.5
+		}
+		res, err := ar.Run(vals, 1<<20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		diam := dims[0] + dims[1] - 2
+		fmt.Printf("%4d×%-4d  %6d  %8d  %.3f   sum=%g\n",
+			dims[0], dims[1], res.Cycles, diam, float64(res.Cycles)/float64(diam), res.Sum)
+	}
+	w := perfmodel.CS1()
+	fmt.Printf("\nfull wafer (602×595): %.0f cycles = %.2f µs at %.1f GHz\n",
+		w.AllReduceCycles(), w.AllReduceSeconds()*1e6, w.ClockHz/1e9)
+	fmt.Println("paper: under 1.5 µs for ~380,000 cores, ~10% above the fabric diameter")
+}

@@ -1,0 +1,26 @@
+// Precision study (Figure 9): solve the same momentum-like system in
+// single and mixed fp16/fp32 precision and print the residual histories,
+// showing the mixed-precision plateau near fp16 machine epsilon.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// A scaled-down version of the paper's 100×400×100 momentum system;
+	// pass larger dimensions through cmd/repro -exp fig9 for paper scale.
+	series := core.Fig9Experiment(20, 80, 20, 15)
+	fmt.Printf("%-5s  %-16s  %-16s\n", "iter", series[0].Name, series[1].Name)
+	n := len(series[0].History)
+	if len(series[1].History) < n {
+		n = len(series[1].History)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Printf("%-5d  %-16.3e  %-16.3e\n", i+1, series[0].History[i], series[1].History[i])
+	}
+	fmt.Println("\nmixed precision tracks fp32 early, then plateaus near 1e-2..1e-3:")
+	fmt.Println("fp16 machine precision (~1e-3) plus roundoff growth, as in the paper.")
+}

@@ -1,0 +1,48 @@
+// Scaling study (Figures 7 and 8): strong scaling of the BiCGStab
+// iteration on the modelled Joule cluster for the paper's two mesh
+// sizes, plus a live rank-parallel run proving partition invariance.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/stencil"
+)
+
+func main() {
+	cfg := cluster.Joule()
+	for _, tc := range []struct {
+		name string
+		m    stencil.Mesh
+	}{{"370³ (Figure 7)", cluster.Fig7Mesh}, {"600³ (Figure 8)", cluster.Fig8Mesh}} {
+		fmt.Printf("%s — modelled ms/iteration on Joule\n", tc.name)
+		pts := cluster.StrongScaling(cfg, tc.m, cluster.PublishedCores)
+		for _, p := range pts {
+			fmt.Printf("  %6d cores  %8.2f ms   speedup %.1f×\n", p.Cores, p.Seconds*1e3, p.SpeedupVs1)
+		}
+	}
+	fmt.Printf("CS-1 measured 28.1 µs/iteration => %.0f× the 16K-core cluster (paper: ~214×)\n\n",
+		cfg.IterationTime(cluster.Fig8Mesh, 16384).Total()/28.1e-6)
+
+	// Functional check: the goroutine-per-rank solve is partition
+	// invariant.
+	m := stencil.Mesh{NX: 16, NY: 16, NZ: 16}
+	rng := rand.New(rand.NewSource(2))
+	norm, diag := stencil.ConvectionDiffusion(m, 0.2, [3]float64{1, -0.3, 0.2}, 0.25).Normalize()
+	b := make([]float64, m.N())
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	_ = diag
+	for _, ranks := range []int{1, 8, 64} {
+		x, hist, err := cluster.ParallelBiCGStab(norm, b, ranks, 30, 1e-8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ranks=%2d: %2d iterations, final residual %.2e, x[0]=%.12f\n",
+			ranks, len(hist), hist[len(hist)-1], x[0])
+	}
+}

@@ -1,0 +1,363 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/stencil"
+)
+
+// ParallelBiCGStab runs the float64 BiCGStab solve SPMD-style over ranks
+// goroutine-ranks with 3D block decomposition, channel-based halo
+// exchange and an ordered (deterministic) allreduce — the communication
+// structure the Joule timing model charges for. It returns the solution
+// and the per-iteration relative residual history.
+//
+// The operator must be unit-diagonal (call Normalize first), matching
+// the other backends.
+func ParallelBiCGStab(op *stencil.Op7, b []float64, ranks, maxIter int, tol float64) ([]float64, []float64, error) {
+	if !op.IsUnitDiagonal() {
+		return nil, nil, fmt.Errorf("cluster: operator must be unit-diagonal")
+	}
+	m := op.M
+	px, py, pz := Decompose3D(m, ranks)
+	if px*py*pz != ranks {
+		return nil, nil, fmt.Errorf("cluster: cannot decompose %d ranks", ranks)
+	}
+	if m.NX%px != 0 || m.NY%py != 0 || m.NZ%pz != 0 {
+		return nil, nil, fmt.Errorf("cluster: mesh %v does not divide into %d×%d×%d blocks", m, px, py, pz)
+	}
+
+	g := &grid{op: op, m: m, px: px, py: py, pz: pz,
+		bx: m.NX / px, by: m.NY / py, bz: m.NZ / pz}
+	g.reducer = newReducer(ranks)
+	// Halo mailboxes: one buffered channel per (rank, face).
+	g.mail = make([][6]chan []float64, ranks)
+	for r := range g.mail {
+		for f := 0; f < 6; f++ {
+			g.mail[r][f] = make(chan []float64, 1)
+		}
+	}
+
+	x := make([]float64, m.N())
+	history := make([]float64, 0, maxIter)
+	var histMu sync.Mutex
+
+	var wg sync.WaitGroup
+	wg.Add(ranks)
+	errs := make([]error, ranks)
+	for r := 0; r < ranks; r++ {
+		go func(r int) {
+			defer wg.Done()
+			h, err := g.runRank(r, b, x, maxIter, tol)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			if r == 0 {
+				histMu.Lock()
+				history = append(history, h...)
+				histMu.Unlock()
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return x, history, nil
+}
+
+// grid is the shared immutable decomposition plus communication plumbing.
+type grid struct {
+	op         *stencil.Op7
+	m          stencil.Mesh
+	px, py, pz int
+	bx, by, bz int
+	mail       [][6]chan []float64
+	reducer    *reducer
+}
+
+// Faces: 0 +x, 1 −x, 2 +y, 3 −y, 4 +z, 5 −z.
+var faceOpp = [6]int{1, 0, 3, 2, 5, 4}
+
+func (g *grid) rankOf(ix, iy, iz int) int { return (iz*g.py+iy)*g.px + ix }
+
+// runRank executes one SPMD rank.
+func (g *grid) runRank(r int, bGlobal, xGlobal []float64, maxIter int, tol float64) ([]float64, error) {
+	ix := r % g.px
+	iy := (r / g.px) % g.py
+	iz := r / (g.px * g.py)
+	x0, y0, z0 := ix*g.bx, iy*g.by, iz*g.bz
+	n := g.bx * g.by * g.bz
+	li := func(x, y, z int) int { return (y*g.bx+x)*g.bz + z } // local index
+	gi := func(x, y, z int) int { return g.m.Index(x0+x, y0+y, z0+z) }
+
+	load := func(src []float64) []float64 {
+		out := make([]float64, n)
+		for y := 0; y < g.by; y++ {
+			for x := 0; x < g.bx; x++ {
+				for z := 0; z < g.bz; z++ {
+					out[li(x, y, z)] = src[gi(x, y, z)]
+				}
+			}
+		}
+		return out
+	}
+
+	b := load(bGlobal)
+	xv := make([]float64, n)
+	r0 := make([]float64, n)
+	rv := make([]float64, n)
+	p := make([]float64, n)
+	s := make([]float64, n)
+	q := make([]float64, n)
+	y := make([]float64, n)
+
+	// Halo working buffers for the source vector of each SpMV.
+	halos := newHaloBufs(g)
+
+	// spmv computes dst = A·src with halo exchange.
+	spmv := func(dst, src []float64) {
+		g.exchange(r, ix, iy, iz, src, halos, li)
+		for yy := 0; yy < g.by; yy++ {
+			for xx := 0; xx < g.bx; xx++ {
+				for zz := 0; zz < g.bz; zz++ {
+					i := gi(xx, yy, zz)
+					l := li(xx, yy, zz)
+					acc := src[l] // unit diagonal
+					acc += g.op.XP[i] * g.neighbor(src, halos, li, xx+1, yy, zz, 0)
+					acc += g.op.XM[i] * g.neighbor(src, halos, li, xx-1, yy, zz, 1)
+					acc += g.op.YP[i] * g.neighbor(src, halos, li, xx, yy+1, zz, 2)
+					acc += g.op.YM[i] * g.neighbor(src, halos, li, xx, yy-1, zz, 3)
+					acc += g.op.ZP[i] * g.neighbor(src, halos, li, xx, yy, zz+1, 4)
+					acc += g.op.ZM[i] * g.neighbor(src, halos, li, xx, yy, zz-1, 5)
+					dst[l] = acc
+				}
+			}
+		}
+	}
+	dot := func(a, bb []float64) float64 {
+		var sum float64
+		for i := range a {
+			sum += a[i] * bb[i]
+		}
+		return g.reducer.allreduce(r, sum)
+	}
+
+	// r0 = r = p = b (zero initial guess).
+	copy(r0, b)
+	copy(rv, b)
+	copy(p, b)
+	bnorm := math.Sqrt(dot(b, b))
+	if bnorm == 0 {
+		return nil, fmt.Errorf("cluster: zero right-hand side")
+	}
+	rho := dot(r0, rv)
+
+	var history []float64
+	store := func() {
+		for yy := 0; yy < g.by; yy++ {
+			for xx := 0; xx < g.bx; xx++ {
+				for zz := 0; zz < g.bz; zz++ {
+					xGlobal[gi(xx, yy, zz)] = xv[li(xx, yy, zz)]
+				}
+			}
+		}
+	}
+
+	for it := 0; it < maxIter; it++ {
+		spmv(s, p)
+		r0s := dot(r0, s)
+		if r0s == 0 {
+			break
+		}
+		alpha := rho / r0s
+		for i := range q {
+			q[i] = rv[i] - alpha*s[i]
+		}
+		spmv(y, q)
+		qy := dot(q, y)
+		yy := dot(y, y)
+		if yy == 0 {
+			for i := range xv {
+				xv[i] += alpha * p[i]
+			}
+			break
+		}
+		omega := qy / yy
+		for i := range xv {
+			xv[i] += alpha*p[i] + omega*q[i]
+		}
+		for i := range rv {
+			rv[i] = q[i] - omega*y[i]
+		}
+		rel := math.Sqrt(dot(rv, rv)) / bnorm
+		if r == 0 {
+			history = append(history, rel)
+		}
+		if tol > 0 && rel <= tol {
+			break
+		}
+		rr := dot(r0, rv)
+		if rho == 0 || omega == 0 {
+			break
+		}
+		beta := (alpha / omega) * (rr / rho)
+		rho = rr
+		for i := range p {
+			p[i] = rv[i] + beta*(p[i]-omega*s[i])
+		}
+	}
+	store()
+	return history, nil
+}
+
+// haloBufs holds one receive buffer per face.
+type haloBufs struct{ face [6][]float64 }
+
+func newHaloBufs(g *grid) *haloBufs {
+	h := &haloBufs{}
+	sizes := [6]int{g.by * g.bz, g.by * g.bz, g.bx * g.bz, g.bx * g.bz, g.bx * g.by, g.bx * g.by}
+	for f := 0; f < 6; f++ {
+		h.face[f] = make([]float64, sizes[f])
+	}
+	return h
+}
+
+// exchange swaps face slabs of src with all existing neighbours.
+// Protocol: post all sends (buffered channels), then receive.
+func (g *grid) exchange(r, ix, iy, iz int, src []float64, h *haloBufs, li func(x, y, z int) int) {
+	type nb struct {
+		face int // my face index
+		rank int
+	}
+	var nbs []nb
+	if ix+1 < g.px {
+		nbs = append(nbs, nb{0, g.rankOf(ix+1, iy, iz)})
+	}
+	if ix > 0 {
+		nbs = append(nbs, nb{1, g.rankOf(ix-1, iy, iz)})
+	}
+	if iy+1 < g.py {
+		nbs = append(nbs, nb{2, g.rankOf(ix, iy+1, iz)})
+	}
+	if iy > 0 {
+		nbs = append(nbs, nb{3, g.rankOf(ix, iy-1, iz)})
+	}
+	if iz+1 < g.pz {
+		nbs = append(nbs, nb{4, g.rankOf(ix, iy, iz+1)})
+	}
+	if iz > 0 {
+		nbs = append(nbs, nb{5, g.rankOf(ix, iy, iz-1)})
+	}
+	for _, o := range nbs {
+		g.mail[o.rank][faceOpp[o.face]] <- g.packFace(src, li, o.face)
+	}
+	for _, o := range nbs {
+		copy(h.face[o.face], <-g.mail[r][o.face])
+	}
+}
+
+// packFace extracts the boundary slab adjacent to the given face.
+func (g *grid) packFace(src []float64, li func(x, y, z int) int, face int) []float64 {
+	switch face {
+	case 0, 1: // ±x: slab of (by × bz)
+		x := 0
+		if face == 0 {
+			x = g.bx - 1
+		}
+		out := make([]float64, g.by*g.bz)
+		for y := 0; y < g.by; y++ {
+			for z := 0; z < g.bz; z++ {
+				out[y*g.bz+z] = src[li(x, y, z)]
+			}
+		}
+		return out
+	case 2, 3: // ±y
+		y := 0
+		if face == 2 {
+			y = g.by - 1
+		}
+		out := make([]float64, g.bx*g.bz)
+		for x := 0; x < g.bx; x++ {
+			for z := 0; z < g.bz; z++ {
+				out[x*g.bz+z] = src[li(x, y, z)]
+			}
+		}
+		return out
+	default: // ±z
+		z := 0
+		if face == 4 {
+			z = g.bz - 1
+		}
+		out := make([]float64, g.bx*g.by)
+		for x := 0; x < g.bx; x++ {
+			for y := 0; y < g.by; y++ {
+				out[x*g.by+y] = src[li(x, y, z)]
+			}
+		}
+		return out
+	}
+}
+
+// neighbor reads the stencil neighbour at local offset (x, y, z), falling
+// back to the received halo (or zero at the global boundary).
+func (g *grid) neighbor(src []float64, h *haloBufs, li func(x, y, z int) int, x, y, z int, face int) float64 {
+	if x >= 0 && x < g.bx && y >= 0 && y < g.by && z >= 0 && z < g.bz {
+		return src[li(x, y, z)]
+	}
+	switch face {
+	case 0, 1:
+		if len(h.face[face]) == 0 {
+			return 0
+		}
+		return h.face[face][y*g.bz+z]
+	case 2, 3:
+		return h.face[face][x*g.bz+z]
+	default:
+		return h.face[face][x*g.by+y]
+	}
+}
+
+// reducer implements a deterministic allreduce: partials are summed in
+// rank order regardless of arrival order, so results are bit-identical
+// across runs and independent of goroutine scheduling.
+type reducer struct {
+	ranks int
+	mu    sync.Mutex
+	vals  []float64
+	got   int
+	out   []chan float64
+}
+
+func newReducer(ranks int) *reducer {
+	r := &reducer{ranks: ranks, vals: make([]float64, ranks), out: make([]chan float64, ranks)}
+	for i := range r.out {
+		r.out[i] = make(chan float64, 1)
+	}
+	return r
+}
+
+// allreduce contributes rank r's partial and returns the ordered global
+// sum; all ranks block until every contribution arrived.
+func (r *reducer) allreduce(rank int, v float64) float64 {
+	r.mu.Lock()
+	r.vals[rank] = v
+	r.got++
+	if r.got == r.ranks {
+		var sum float64
+		for _, x := range r.vals {
+			sum += x
+		}
+		r.got = 0
+		for _, ch := range r.out {
+			ch <- sum
+		}
+	}
+	r.mu.Unlock()
+	return <-r.out[rank]
+}

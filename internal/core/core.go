@@ -1,0 +1,175 @@
+// Package core is the public façade of the reproduction: it ties a
+// stencil problem to one of three execution backends —
+//
+//   - Local: the sequential reference solver in a chosen precision
+//     (float64, float32, or the CS-1's mixed fp16/fp32);
+//   - Wafer: the cycle-level CS-1 simulator (fabric + cores + kernels),
+//     returning per-phase cycle counts alongside the solution;
+//   - Cluster: the rank-parallel (goroutines-as-MPI) Joule-style solve.
+//
+// The experiment runners in experiments.go regenerate every table and
+// figure of the paper from these backends plus the calibrated models.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fp16"
+	"repro/internal/kernels"
+	"repro/internal/solver"
+	"repro/internal/stencil"
+	"repro/internal/wse"
+)
+
+// Precision selects the arithmetic of the Local backend.
+type Precision int
+
+// Precisions.
+const (
+	F64 Precision = iota
+	F32
+	Mixed // fp16 storage, fp32 dot accumulation — the CS-1 arithmetic
+)
+
+// String names the precision.
+func (p Precision) String() string {
+	switch p {
+	case F64:
+		return "fp64"
+	case F32:
+		return "fp32"
+	default:
+		return "mixed16/32"
+	}
+}
+
+func (p Precision) context() solver.Context {
+	switch p {
+	case F64:
+		return solver.NewF64()
+	case F32:
+		return solver.NewF32()
+	default:
+		return solver.NewMixed()
+	}
+}
+
+// Backend selects the execution substrate.
+type Backend int
+
+// Backends.
+const (
+	Local Backend = iota
+	Wafer
+	Cluster
+)
+
+// Problem is a linear system from a 7-point stencil discretization.
+type Problem struct {
+	Op *stencil.Op7 // need not be normalized; Solve normalizes
+	B  []float64
+}
+
+// NewProblem builds a problem with b = A·xexact, returning the problem
+// and xexact (handy for accuracy checks).
+func NewProblem(op *stencil.Op7, xexact []float64) (Problem, []float64) {
+	b := make([]float64, op.M.N())
+	op.Apply(b, xexact)
+	return Problem{Op: op, B: b}, xexact
+}
+
+// Options configures a solve.
+type Options struct {
+	Backend   Backend
+	Precision Precision // Local backend only
+	MaxIter   int
+	Tol       float64
+	Ranks     int // Cluster backend: number of goroutine-ranks
+}
+
+// Result reports a solve.
+type Result struct {
+	X          []float64
+	Iterations int
+	Converged  bool
+	Breakdown  string
+	// History is the per-iteration iterative relative residual.
+	History []float64
+	// TrueResidual is ‖b − Ax‖/‖b‖ in float64 against the original
+	// operator.
+	TrueResidual float64
+	// Cycles is the wafer backend's per-iteration phase breakdown.
+	Cycles *kernels.PhaseCycles
+}
+
+// Solve runs BiCGStab on the selected backend.
+func Solve(p Problem, o Options) (Result, error) {
+	if o.MaxIter == 0 {
+		o.MaxIter = 200
+	}
+	norm, diag := p.Op.Normalize()
+	sb := stencil.ScaleRHS(p.B, diag)
+	var res Result
+	switch o.Backend {
+	case Local:
+		ctx := o.Precision.context()
+		a := ctx.NewOperator(norm)
+		bv := ctx.NewVector(len(sb))
+		for i, v := range sb {
+			bv.Set(i, v)
+		}
+		xv := ctx.NewVector(len(sb))
+		st, err := solver.BiCGStab(ctx, a, bv, xv, solver.Options{
+			MaxIter: o.MaxIter, Tol: o.Tol, RecordHistory: true,
+		})
+		if err != nil {
+			return res, err
+		}
+		res.X = xv.Float64()
+		res.Iterations = st.Iterations
+		res.Converged = st.Converged
+		res.Breakdown = st.Breakdown
+		res.History = st.History
+
+	case Wafer:
+		m := norm.M
+		mach := wse.New(wse.CS1(m.NX, m.NY))
+		w, err := kernels.NewBiCGStabWSE(mach, stencil.NewOp7Half(norm))
+		if err != nil {
+			return res, err
+		}
+		x16, st, err := w.Solve(fp16.FromFloat64Slice(sb), kernels.WSEOptions{
+			MaxIter: o.MaxIter, Tol: o.Tol,
+		})
+		if err != nil {
+			return res, err
+		}
+		res.X = fp16.ToFloat64Slice(x16)
+		res.Iterations = st.Iterations
+		res.Converged = st.Converged
+		res.Breakdown = st.Breakdown
+		res.History = st.History
+		pc := st.PerIteration
+		res.Cycles = &pc
+
+	case Cluster:
+		ranks := o.Ranks
+		if ranks == 0 {
+			ranks = 8
+		}
+		x, hist, err := cluster.ParallelBiCGStab(norm, sb, ranks, o.MaxIter, o.Tol)
+		if err != nil {
+			return res, err
+		}
+		res.X = x
+		res.History = hist
+		res.Iterations = len(hist)
+		res.Converged = o.Tol > 0 && len(hist) > 0 && hist[len(hist)-1] <= o.Tol
+
+	default:
+		return res, fmt.Errorf("core: unknown backend %d", o.Backend)
+	}
+	res.TrueResidual = norm.ResidualNorm(res.X, sb) / stencil.Norm2(sb)
+	return res, nil
+}

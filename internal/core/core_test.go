@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/stencil"
+)
+
+func testProblem(seed int64) (Problem, []float64) {
+	m := stencil.Mesh{NX: 4, NY: 4, NZ: 8}
+	op := stencil.MomentumLike(m, 0.05, [3]float64{1, 0.3, -0.2}, 0.1, 1, 0.1)
+	rng := rand.New(rand.NewSource(seed))
+	xe := make([]float64, m.N())
+	for i := range xe {
+		xe[i] = rng.Float64()
+	}
+	return NewProblem(op, xe)
+}
+
+func TestSolveAllBackendsAgree(t *testing.T) {
+	p, xe := testProblem(5)
+	for _, tc := range []struct {
+		name string
+		opts Options
+		tol  float64 // solution accuracy vs xe
+	}{
+		{"local/f64", Options{Backend: Local, Precision: F64, MaxIter: 60, Tol: 1e-10}, 1e-7},
+		{"local/f32", Options{Backend: Local, Precision: F32, MaxIter: 60, Tol: 1e-6}, 1e-4},
+		{"local/mixed", Options{Backend: Local, Precision: Mixed, MaxIter: 30, Tol: 1e-3}, 0.05},
+		{"wafer", Options{Backend: Wafer, MaxIter: 30, Tol: 1e-3}, 0.05},
+		{"cluster", Options{Backend: Cluster, Ranks: 8, MaxIter: 60, Tol: 1e-10}, 1e-7},
+	} {
+		res, err := Solve(p, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		worst := 0.0
+		for i := range xe {
+			worst = math.Max(worst, math.Abs(res.X[i]-xe[i]))
+		}
+		if worst > tc.tol {
+			t.Errorf("%s: worst-case error %g > %g", tc.name, worst, tc.tol)
+		}
+		if res.TrueResidual > 0.02 {
+			t.Errorf("%s: true residual %g", tc.name, res.TrueResidual)
+		}
+	}
+}
+
+func TestWaferBackendReportsCycles(t *testing.T) {
+	p, _ := testProblem(9)
+	res, err := Solve(p, Options{Backend: Wafer, MaxIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == nil || res.Cycles.Total() == 0 {
+		t.Fatal("wafer backend must report a cycle breakdown")
+	}
+}
+
+func TestExperimentReports(t *testing.T) {
+	for name, fn := range map[string]func() string{
+		"table1":    Table1Report,
+		"headline":  HeadlineReport,
+		"allreduce": AllReduceReport,
+		"scaling":   ScalingReport,
+		"table2":    Table2Report,
+		"spmv2d":    SpMV2DReport,
+		"fig1":      Fig1Report,
+		"memory":    MemoryReport,
+		"routing":   RoutingReport,
+	} {
+		out := fn()
+		if len(out) < 40 {
+			t.Errorf("%s report suspiciously short:\n%s", name, out)
+		}
+		if strings.Contains(out, "DOES NOT FIT") || strings.Contains(out, "failed") {
+			t.Errorf("%s report indicates failure:\n%s", name, out)
+		}
+	}
+	if out := Fig9Report(6, 12, 6, 10); len(out) < 100 {
+		t.Errorf("fig9 report too short:\n%s", out)
+	}
+}
+
+func TestTable1ReportValues(t *testing.T) {
+	// Compare rows with whitespace collapsed, so formatting changes do
+	// not break the value check.
+	squash := func(s string) string { return strings.Join(strings.Fields(s), " ") }
+	out := squash(Table1Report())
+	for _, want := range []string{
+		"Matvec (x2) 12 12 | 12 12 0",
+		"Dot (x4) 4 4 | 0 4 4",
+		"AXPY (x6) 6 6 | 6 6 0",
+		"Total 22 22 | 18 22 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I row missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRoutingReportClean(t *testing.T) {
+	if out := RoutingReport(); !strings.Contains(out, "0 color clashes") {
+		t.Errorf("routing report: %s", out)
+	}
+}
+
+func TestFig9ExperimentShape(t *testing.T) {
+	series := Fig9Experiment(8, 16, 8, 15)
+	f32h := series[0].History
+	mxh := series[1].History
+	if f32h[len(f32h)-1] > 1e-5 {
+		t.Errorf("fp32 final residual %g", f32h[len(f32h)-1])
+	}
+	final := mxh[len(mxh)-1]
+	if final < 1e-4 || final > 1e-1 {
+		t.Errorf("mixed plateau %g outside [1e-4, 1e-1]", final)
+	}
+}

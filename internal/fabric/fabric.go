@@ -1,0 +1,471 @@
+// Package fabric is a cycle-level simulator of the CS-1's on-wafer
+// interconnect: a 2D mesh of routers, one per tile, each with five
+// bidirectional links — to its four neighbours and to its own core (the
+// "ramp"). Communication follows the paper's model:
+//
+//   - routing is static, configured offline per (input port, color);
+//   - a router can move one word per output link per cycle, on all five
+//     links in parallel;
+//   - the fanout of data to multiple destinations is done in the router
+//     (an input word may forward to any subset of the five output ports);
+//   - per-hop latency is one cycle; hardware queues provide backpressure;
+//   - colors are virtual channels; the program (not the hardware) is
+//     responsible for choosing deadlock-free color assignments.
+//
+// Words are 32-bit, carrying either one float32 or two fp16 elements, which
+// matches the injection/extraction granularity the paper's AllReduce
+// analysis uses ("a core … can receive only one [word] from the fabric").
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fp16"
+)
+
+// Port identifies one of a router's five links.
+type Port uint8
+
+// The five router ports. Ramp is the link to the tile's own core.
+const (
+	North Port = iota
+	East
+	South
+	West
+	Ramp
+	NumPorts
+)
+
+// String returns a one-letter port name.
+func (p Port) String() string { return [...]string{"N", "E", "S", "W", "R"}[p] }
+
+// Opposite returns the port a word sent out of p arrives on at the
+// neighbouring router.
+func (p Port) Opposite() Port {
+	switch p {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	return Ramp
+}
+
+// Delta returns the coordinate offset of the neighbour reached through p.
+func (p Port) Delta() (dx, dy int) {
+	switch p {
+	case North:
+		return 0, -1
+	case South:
+		return 0, 1
+	case East:
+		return 1, 0
+	case West:
+		return -1, 0
+	}
+	return 0, 0
+}
+
+// PortMask is a set of output ports, one bit per Port.
+type PortMask uint8
+
+// Mask builds a PortMask from ports.
+func Mask(ports ...Port) PortMask {
+	var m PortMask
+	for _, p := range ports {
+		m |= 1 << p
+	}
+	return m
+}
+
+// Has reports whether the mask contains p.
+func (m PortMask) Has(p Port) bool { return m&(1<<p) != 0 }
+
+// Color is a virtual channel identifier. The hardware provides 24.
+type Color uint8
+
+// MaxColors is the number of virtual channels per link.
+const MaxColors = 24
+
+// Coord addresses a tile on the fabric.
+type Coord struct{ X, Y int }
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Word is one 32-bit fabric word tagged with its virtual channel.
+type Word struct {
+	Color Color
+	Bits  uint32
+}
+
+// F32 returns the payload as a float32.
+func (w Word) F32() float32 { return math.Float32frombits(w.Bits) }
+
+// WordF32 builds a word carrying one float32.
+func WordF32(c Color, v float32) Word { return Word{Color: c, Bits: math.Float32bits(v)} }
+
+// PackF16 builds a word carrying two fp16 elements (lo is element 0).
+func PackF16(c Color, lo, hi fp16.Float16) Word {
+	return Word{Color: c, Bits: uint32(lo.Bits()) | uint32(hi.Bits())<<16}
+}
+
+// UnpackF16 splits a word into its two fp16 elements.
+func (w Word) UnpackF16() (lo, hi fp16.Float16) {
+	return fp16.FromBits(uint16(w.Bits)), fp16.FromBits(uint16(w.Bits >> 16))
+}
+
+// queue is a bounded ring of words (a hardware input queue).
+type queue struct {
+	buf        []uint32
+	head, size int
+}
+
+func newQueue(depth int) *queue { return &queue{buf: make([]uint32, depth)} }
+
+func (q *queue) full() bool  { return q.size == len(q.buf) }
+func (q *queue) empty() bool { return q.size == 0 }
+func (q *queue) len() int    { return q.size }
+
+func (q *queue) push(w uint32) bool {
+	if q.full() {
+		return false
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = w
+	q.size++
+	return true
+}
+
+func (q *queue) peek() uint32 { return q.buf[q.head] }
+
+func (q *queue) pop() uint32 {
+	w := q.buf[q.head]
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return w
+}
+
+// router holds the static routes and input queues of one tile.
+type router struct {
+	// routes[in][color] is the output port set; zero means "no route",
+	// which the simulator reports as a configuration error on arrival.
+	routes [NumPorts][MaxColors]PortMask
+	// queues[in][color] holds words that arrived on (in, color).
+	queues [NumPorts][MaxColors]*queue
+	// usedColors tracks which (in, color) queues exist, to bound scanning.
+	active [][2]uint8 // list of (in, color) with configured routes
+	// arbitration rotation per output port
+	rr [NumPorts]int
+}
+
+// Config sizes a fabric.
+type Config struct {
+	W, H int
+	// QueueDepth is the per-(port,color) router queue capacity. The
+	// hardware queues are shallow; 4 reproduces wormhole-like backpressure.
+	QueueDepth int
+	// RxDepth is the per-color core receive buffer capacity.
+	RxDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4
+	}
+	if c.RxDepth <= 0 {
+		c.RxDepth = 4
+	}
+	return c
+}
+
+// Fabric is the whole mesh.
+type Fabric struct {
+	cfg     Config
+	W, H    int
+	routers []router
+	// core receive buffers, per tile per color
+	rx [][MaxColors]*queue
+
+	cycle int64
+	moves int64
+	// activity tracking: tiles whose router might have movable words
+	hot     []bool
+	hotList []int
+
+	// pending transfers staged within a Step
+	stagedPop  []stagedPop
+	stagedPush []stagedPush
+}
+
+type stagedPop struct {
+	tile int
+	in   Port
+	c    Color
+}
+
+type stagedPush struct {
+	tile int // destination tile index, -1 => core rx of srcTile
+	in   Port
+	c    Color
+	bits uint32
+	rxOf int // when tile == -1, the tile whose core receives
+}
+
+// New builds a fabric of w×h routers.
+func New(cfg Config) *Fabric {
+	cfg = cfg.withDefaults()
+	f := &Fabric{
+		cfg: cfg, W: cfg.W, H: cfg.H,
+		routers: make([]router, cfg.W*cfg.H),
+		rx:      make([][MaxColors]*queue, cfg.W*cfg.H),
+		hot:     make([]bool, cfg.W*cfg.H),
+	}
+	return f
+}
+
+// Index returns the tile index of c.
+func (f *Fabric) Index(c Coord) int { return c.Y*f.W + c.X }
+
+// CoordOf inverts Index.
+func (f *Fabric) CoordOf(i int) Coord { return Coord{X: i % f.W, Y: i / f.W} }
+
+// In reports whether c is on the fabric.
+func (f *Fabric) In(c Coord) bool { return c.X >= 0 && c.X < f.W && c.Y >= 0 && c.Y < f.H }
+
+// Cycle returns the number of Steps taken.
+func (f *Fabric) Cycle() int64 { return f.cycle }
+
+// Moves returns the total words moved across all links.
+func (f *Fabric) Moves() int64 { return f.moves }
+
+// SetRoute configures tile at's route for words arriving on (in, color):
+// they fan out to every port in outs. Configuring Ramp in outs delivers to
+// the tile's core. Routes are fixed before simulation, as in the hardware
+// ("routing is configured offline, as part of compilation").
+func (f *Fabric) SetRoute(at Coord, in Port, c Color, outs PortMask) {
+	r := &f.routers[f.Index(at)]
+	if r.routes[in][c] == 0 && outs != 0 {
+		r.active = append(r.active, [2]uint8{uint8(in), uint8(c)})
+	}
+	r.routes[in][c] = outs
+	if r.queues[in][c] == nil {
+		r.queues[in][c] = newQueue(f.cfg.QueueDepth)
+	}
+}
+
+// Route returns the configured output mask for (in, color) at tile at.
+func (f *Fabric) Route(at Coord, in Port, c Color) PortMask {
+	return f.routers[f.Index(at)].routes[in][c]
+}
+
+// Send injects one word from the core of tile at into its router's ramp
+// input. It returns false (and injects nothing) if the ramp queue is full;
+// the caller models a stalled send thread. At most one word per cycle can
+// traverse the ramp link in each direction, which callers respect by
+// calling Send at most once per cycle per tile.
+func (f *Fabric) Send(at Coord, w Word) bool {
+	i := f.Index(at)
+	r := &f.routers[i]
+	if r.routes[Ramp][w.Color] == 0 {
+		panic(fmt.Sprintf("fabric: tile %v has no route for injected color %d", at, w.Color))
+	}
+	q := r.queues[Ramp][w.Color]
+	if q == nil || !q.push(w.Bits) {
+		return false
+	}
+	f.markHot(i)
+	return true
+}
+
+// Recv pops one word of the given color from tile at's core receive
+// buffer. ok is false when none is available.
+func (f *Fabric) Recv(at Coord, c Color) (Word, bool) {
+	i := f.Index(at)
+	q := f.rx[i][c]
+	if q == nil || q.empty() {
+		return Word{}, false
+	}
+	return Word{Color: c, Bits: q.pop()}, true
+}
+
+// RxLen returns the occupancy of tile at's receive buffer for color c.
+func (f *Fabric) RxLen(at Coord, c Color) int {
+	q := f.rx[f.Index(at)][c]
+	if q == nil {
+		return 0
+	}
+	return q.len()
+}
+
+func (f *Fabric) rxQueue(tile int, c Color) *queue {
+	if f.rx[tile][c] == nil {
+		f.rx[tile][c] = newQueue(f.cfg.RxDepth)
+	}
+	return f.rx[tile][c]
+}
+
+func (f *Fabric) markHot(tile int) {
+	if !f.hot[tile] {
+		f.hot[tile] = true
+		f.hotList = append(f.hotList, tile)
+	}
+}
+
+// Step advances the fabric by one cycle: every router moves the head word
+// of its input queues toward its configured outputs, subject to one word
+// per output link per cycle and space in the destination queue. Transfers
+// are claimed against the pre-cycle state and committed together, so a
+// word moves at most one hop per cycle.
+func (f *Fabric) Step() {
+	f.cycle++
+	f.stagedPop = f.stagedPop[:0]
+	f.stagedPush = f.stagedPush[:0]
+
+	// Claim phase. outClaimed tracks per-tile output-link usage this cycle.
+	current := f.hotList
+	f.hotList = f.hotList[:0]
+	stillHot := make([]int, 0, len(current))
+
+	for _, ti := range current {
+		f.hot[ti] = false
+		r := &f.routers[ti]
+		at := f.CoordOf(ti)
+		var outClaimed PortMask
+		hasWords := false
+
+		n := len(r.active)
+		if n == 0 {
+			continue
+		}
+		start := r.rr[0] % n
+		for k := 0; k < n; k++ {
+			ic := r.active[(start+k)%n]
+			in, c := Port(ic[0]), Color(ic[1])
+			q := r.queues[in][c]
+			if q == nil || q.empty() {
+				continue
+			}
+			hasWords = true
+			outs := r.routes[in][c]
+			if outs == 0 {
+				panic(fmt.Sprintf("fabric: word on unrouted (%v,%d) at %v", in, c, at))
+			}
+			// All-or-nothing multicast: every target link must be free and
+			// every destination queue must have space.
+			ok := true
+			for p := Port(0); p < NumPorts && ok; p++ {
+				if !outs.Has(p) {
+					continue
+				}
+				if outClaimed.Has(p) {
+					ok = false
+					break
+				}
+				if p == Ramp {
+					if f.rxQueue(ti, c).full() {
+						ok = false
+					}
+					continue
+				}
+				dx, dy := p.Delta()
+				nb := Coord{at.X + dx, at.Y + dy}
+				if !f.In(nb) {
+					// Configured route off the fabric edge: drop target.
+					// The paper's patterns never do this; flag loudly.
+					panic(fmt.Sprintf("fabric: route off edge at %v port %v", at, p))
+				}
+				nq := f.routers[f.Index(nb)].queues[p.Opposite()][c]
+				if nq == nil {
+					panic(fmt.Sprintf("fabric: no route configured at %v for arrivals on (%v,%d)", nb, p.Opposite(), c))
+				}
+				if nq.full() {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			bits := q.peek()
+			f.stagedPop = append(f.stagedPop, stagedPop{ti, in, c})
+			for p := Port(0); p < NumPorts; p++ {
+				if !outs.Has(p) {
+					continue
+				}
+				outClaimed |= 1 << p
+				if p == Ramp {
+					f.stagedPush = append(f.stagedPush, stagedPush{tile: -1, c: c, bits: bits, rxOf: ti})
+				} else {
+					dx, dy := p.Delta()
+					nb := f.Index(Coord{at.X + dx, at.Y + dy})
+					f.stagedPush = append(f.stagedPush, stagedPush{tile: nb, in: p.Opposite(), c: c, bits: bits})
+				}
+			}
+		}
+		r.rr[0]++
+		if hasWords {
+			stillHot = append(stillHot, ti)
+		}
+	}
+
+	// Commit phase.
+	for _, sp := range f.stagedPop {
+		f.routers[sp.tile].queues[sp.in][sp.c].pop()
+		f.moves++
+	}
+	for _, sh := range f.stagedPush {
+		if sh.tile < 0 {
+			f.rxQueue(sh.rxOf, sh.c).push(sh.bits)
+			continue
+		}
+		if !f.routers[sh.tile].queues[sh.in][sh.c].push(sh.bits) {
+			panic("fabric: committed push overflowed (claim phase bug)")
+		}
+		f.markHot(sh.tile)
+	}
+	for _, ti := range stillHot {
+		f.markHot(ti)
+	}
+}
+
+// Quiescent reports whether no words remain anywhere in the fabric
+// (router queues only; core receive buffers may still hold words).
+func (f *Fabric) Quiescent() bool {
+	for i := range f.routers {
+		r := &f.routers[i]
+		for _, ic := range r.active {
+			q := r.queues[ic[0]][ic[1]]
+			if q != nil && !q.empty() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Drain steps until quiescent or maxCycles is exceeded, returning the
+// number of cycles stepped and whether the fabric drained. It detects
+// deadlock/livelock as "no words moved for width+height cycles".
+func (f *Fabric) Drain(maxCycles int) (int, bool) {
+	stall := 0
+	stallLimit := f.W + f.H + 8
+	for n := 0; n < maxCycles; n++ {
+		if f.Quiescent() {
+			return n, true
+		}
+		before := f.moves
+		f.Step()
+		if f.moves == before {
+			stall++
+			if stall > stallLimit {
+				return n + 1, false
+			}
+		} else {
+			stall = 0
+		}
+	}
+	return maxCycles, f.Quiescent()
+}

@@ -1,0 +1,322 @@
+// Package fp16 implements IEEE 754 binary16 ("half precision") arithmetic
+// in software, with the rounding semantics of the CS-1 wafer-scale engine's
+// floating point datapath:
+//
+//   - all basic operations (+, −, ×, ÷, √) round to nearest, ties to even;
+//   - FMA does not round the product before the addition;
+//   - the mixed-precision FMAC used by the hardware inner-product
+//     instruction multiplies two fp16 operands exactly (the 22-bit product
+//     fits a float32 significand) and accumulates in float32.
+//
+// The package is the numeric substrate for every mixed-precision experiment
+// in the reproduction (Figure 9 in particular): identical rounding semantics
+// give identical convergence and plateau behaviour.
+package fp16
+
+import (
+	"math"
+	"strconv"
+)
+
+// Float16 is an IEEE 754 binary16 value stored in its 16-bit interchange
+// format: 1 sign bit, 5 exponent bits (bias 15), 10 fraction bits.
+type Float16 uint16
+
+// Format-level constants.
+const (
+	signMask uint16 = 0x8000
+	expMask  uint16 = 0x7C00
+	fracMask uint16 = 0x03FF
+
+	expBias  = 15
+	fracBits = 10
+)
+
+// Distinguished values.
+var (
+	// PositiveInf and NegativeInf are the fp16 infinities.
+	PositiveInf = Float16(0x7C00)
+	NegativeInf = Float16(0xFC00)
+	// NaN is a quiet NaN.
+	NaN = Float16(0x7E00)
+	// Zero and NegZero are the signed zeros.
+	Zero    = Float16(0x0000)
+	NegZero = Float16(0x8000)
+	// One is 1.0.
+	One = Float16(0x3C00)
+)
+
+// Numeric limits, as float64 values.
+const (
+	// MaxValue is the largest finite fp16 value, 65504.
+	MaxValue = 65504.0
+	// SmallestNormal is 2^-14.
+	SmallestNormal = 0x1p-14
+	// SmallestSubnormal is 2^-24.
+	SmallestSubnormal = 0x1p-24
+	// Epsilon is the machine epsilon, 2^-10: the difference between 1 and
+	// the next representable value. The paper's "machine precision is about
+	// 10^-3" refers to this.
+	Epsilon = 0x1p-10
+)
+
+// FromBits returns the Float16 with the given interchange encoding.
+func FromBits(b uint16) Float16 { return Float16(b) }
+
+// Bits returns the interchange encoding of x.
+func (x Float16) Bits() uint16 { return uint16(x) }
+
+// FromFloat64 converts a float64 to Float16, rounding to nearest with ties
+// to even, with gradual underflow to subnormals and overflow to infinity.
+func FromFloat64(f float64) Float16 {
+	b := math.Float64bits(f)
+	sign := uint16(b>>48) & signMask
+	exp := int((b >> 52) & 0x7FF)
+	frac := b & 0x000FFFFFFFFFFFFF
+
+	if exp == 0x7FF { // Inf or NaN
+		if frac != 0 {
+			// Quiet NaN; preserve the top fraction bits where possible.
+			nf := uint16(frac>>42) & fracMask
+			return Float16(sign | expMask | 0x0200 | nf)
+		}
+		return Float16(sign | expMask)
+	}
+	if exp == 0 && frac == 0 {
+		return Float16(sign)
+	}
+
+	// Normalize into a 53-bit significand sig with value sig * 2^(e-52).
+	var sig uint64
+	var e int
+	if exp == 0 {
+		sig = frac
+		e = -1022
+		for sig&0x0010000000000000 == 0 {
+			sig <<= 1
+			e--
+		}
+	} else {
+		sig = frac | 0x0010000000000000
+		e = exp - 1023
+	}
+
+	// A normal fp16 is h * 2^(e-10) with h in [2^10, 2^11). Dropping 42 bits
+	// of sig keeps 11; rounding may carry into bit 11.
+	if e > expBias {
+		return Float16(sign | expMask) // overflow before rounding
+	}
+	if e >= -14 {
+		h := roundShiftRNE(sig, 42)
+		if h >= 1<<(fracBits+1) { // carry: 2^11 -> renormalize
+			h >>= 1
+			e++
+		}
+		if e > expBias {
+			return Float16(sign | expMask)
+		}
+		return Float16(sign | uint16(e+expBias)<<fracBits | uint16(h)&fracMask)
+	}
+
+	// Subnormal range: value = h * 2^-24 for h in [1, 2^10). We must drop
+	// 42 + (-14 - e) bits. Rounding can carry into the smallest normal.
+	shift := uint(42 + (-14 - e))
+	if shift >= 53+1 {
+		return Float16(sign) // underflows to zero even after rounding
+	}
+	h := roundShiftRNE(sig, shift)
+	// h may equal 2^10 here, which encodes exactly as the smallest normal
+	// (exponent field 1, fraction 0), so plain bit-OR is correct.
+	return Float16(sign | uint16(h))
+}
+
+// roundShiftRNE drops the low shift bits of sig, rounding to nearest with
+// ties to even. shift must be in [1, 63].
+func roundShiftRNE(sig uint64, shift uint) uint64 {
+	lsb := (sig >> shift) & 1
+	bias := (uint64(1) << (shift - 1)) - 1 + lsb
+	return (sig + bias) >> shift
+}
+
+// FromFloat32 converts a float32 to Float16 with round-to-nearest-even.
+func FromFloat32(f float32) Float16 {
+	// float32 -> float64 is exact, so one rounding step remains.
+	return FromFloat64(float64(f))
+}
+
+// Float32 returns x converted to float32. The conversion is exact.
+func (x Float16) Float32() float32 {
+	sign := uint32(uint16(x)&signMask) << 16
+	exp := uint32(x>>fracBits) & 0x1F
+	frac := uint32(x) & uint32(fracMask)
+	switch {
+	case exp == 0x1F:
+		if frac != 0 {
+			return math.Float32frombits(sign | 0x7FC00000 | frac<<13)
+		}
+		return math.Float32frombits(sign | 0x7F800000)
+	case exp == 0:
+		if frac == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: value = frac * 2^-24. Normalize into a float32.
+		e := int32(-14)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= 0x3FF
+		return math.Float32frombits(sign | uint32(e+127)<<23 | frac<<13)
+	default:
+		return math.Float32frombits(sign | (exp+112)<<23 | frac<<13)
+	}
+}
+
+// Float64 returns x converted to float64. The conversion is exact.
+func (x Float16) Float64() float64 { return float64(x.Float32()) }
+
+// IsNaN reports whether x is a NaN.
+func (x Float16) IsNaN() bool {
+	return uint16(x)&expMask == expMask && uint16(x)&fracMask != 0
+}
+
+// IsInf reports whether x is an infinity: positive if sign > 0, negative if
+// sign < 0, either if sign == 0.
+func (x Float16) IsInf(sign int) bool {
+	if uint16(x)&expMask != expMask || uint16(x)&fracMask != 0 {
+		return false
+	}
+	neg := uint16(x)&signMask != 0
+	return sign == 0 || (sign > 0 && !neg) || (sign < 0 && neg)
+}
+
+// IsFinite reports whether x is neither infinite nor NaN.
+func (x Float16) IsFinite() bool { return uint16(x)&expMask != expMask }
+
+// IsZero reports whether x is +0 or -0.
+func (x Float16) IsZero() bool { return uint16(x)&^signMask == 0 }
+
+// IsSubnormal reports whether x is subnormal (nonzero with a zero exponent
+// field).
+func (x Float16) IsSubnormal() bool {
+	return uint16(x)&expMask == 0 && uint16(x)&fracMask != 0
+}
+
+// Signbit reports whether x is negative or negative zero.
+func (x Float16) Signbit() bool { return uint16(x)&signMask != 0 }
+
+// Neg returns -x.
+func (x Float16) Neg() Float16 { return x ^ Float16(signMask) }
+
+// Abs returns |x|.
+func (x Float16) Abs() Float16 { return x &^ Float16(signMask) }
+
+// Add returns x+y rounded to nearest even. The float64 sum of two fp16
+// values is exact (the aligned significands span at most 51 bits), so a
+// single rounding occurs.
+func Add(x, y Float16) Float16 { return FromFloat64(x.Float64() + y.Float64()) }
+
+// Sub returns x-y rounded to nearest even.
+func Sub(x, y Float16) Float16 { return FromFloat64(x.Float64() - y.Float64()) }
+
+// Mul returns x*y rounded to nearest even. The float64 product of two fp16
+// values is exact (22 significand bits), so a single rounding occurs.
+func Mul(x, y Float16) Float16 { return FromFloat64(x.Float64() * y.Float64()) }
+
+// Div returns x/y. The float64 quotient carries 53 bits, more than the
+// 2p+2 = 24 bits required for double rounding to be innocuous for an
+// 11-bit target, so the result is correctly rounded.
+func Div(x, y Float16) Float16 { return FromFloat64(x.Float64() / y.Float64()) }
+
+// Sqrt returns √x, correctly rounded (same 2p+2 argument as Div).
+func Sqrt(x Float16) Float16 { return FromFloat64(math.Sqrt(x.Float64())) }
+
+// FMA returns x*y + z with no rounding of the intermediate product, as the
+// CS-1 fused multiply-accumulate does. math.FMA rounds once to float64
+// (53 bits ≥ 2p+2), then we round once to fp16; the double rounding is
+// innocuous at this precision gap.
+func FMA(x, y, z Float16) Float16 {
+	return FromFloat64(math.FMA(x.Float64(), y.Float64(), z.Float64()))
+}
+
+// MixedFMAC implements the hardware mixed-precision multiply-accumulate:
+// the fp16 product x*y is computed exactly (22 bits fit a float32
+// significand) and added to the float32 accumulator acc, rounding once in
+// float32. This is the primitive behind the CS-1 inner-product instruction.
+func MixedFMAC(acc float32, x, y Float16) float32 {
+	return acc + x.Float32()*y.Float32()
+}
+
+// Less reports whether x < y under IEEE ordering (NaN compares false).
+func Less(x, y Float16) bool { return x.Float32() < y.Float32() }
+
+// Eq reports whether x == y under IEEE equality (+0 == -0, NaN != NaN).
+func Eq(x, y Float16) bool { return x.Float32() == y.Float32() }
+
+// Min returns the smaller of x and y; if either is NaN it returns NaN.
+func Min(x, y Float16) Float16 {
+	if x.IsNaN() || y.IsNaN() {
+		return NaN
+	}
+	if Less(y, x) {
+		return y
+	}
+	return x
+}
+
+// Max returns the larger of x and y; if either is NaN it returns NaN.
+func Max(x, y Float16) Float16 {
+	if x.IsNaN() || y.IsNaN() {
+		return NaN
+	}
+	if Less(x, y) {
+		return y
+	}
+	return x
+}
+
+// NextUp returns the least Float16 greater than x.
+func NextUp(x Float16) Float16 {
+	switch {
+	case x.IsNaN() || x == PositiveInf:
+		return x
+	case x.IsZero():
+		return Float16(1) // smallest positive subnormal
+	case x.Signbit():
+		return Float16(uint16(x) - 1)
+	default:
+		return Float16(uint16(x) + 1)
+	}
+}
+
+// NextDown returns the greatest Float16 less than x.
+func NextDown(x Float16) Float16 { return NextUp(x.Neg()).Neg() }
+
+// ULP returns the unit in the last place of x (the spacing of fp16 values
+// at |x|), as a float64. For zero and subnormals it returns 2^-24; for
+// infinities and NaN it returns NaN.
+func ULP(x Float16) float64 {
+	if !x.IsFinite() {
+		return math.NaN()
+	}
+	e := int(uint16(x)>>fracBits) & 0x1F
+	if e == 0 {
+		return SmallestSubnormal
+	}
+	return math.Ldexp(1, e-expBias-fracBits)
+}
+
+// String formats x using the shortest decimal representation that
+// round-trips through float32.
+func (x Float16) String() string {
+	return strconv.FormatFloat(float64(x.Float32()), 'g', -1, 32)
+}
+
+// Parse parses a decimal string into a Float16, rounding to nearest even.
+func Parse(s string) (Float16, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return Zero, err
+	}
+	return FromFloat64(f), nil
+}

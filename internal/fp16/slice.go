@@ -1,0 +1,92 @@
+package fp16
+
+// Slice helpers used throughout the kernels: bulk conversion between fp16
+// storage and the float32/float64 staging formats, plus elementwise
+// reductions with the accumulation semantics of the hardware.
+
+// FromFloat64Slice converts src elementwise, rounding each value to fp16.
+func FromFloat64Slice(src []float64) []Float16 {
+	dst := make([]Float16, len(src))
+	for i, v := range src {
+		dst[i] = FromFloat64(v)
+	}
+	return dst
+}
+
+// FromFloat32Slice converts src elementwise, rounding each value to fp16.
+func FromFloat32Slice(src []float32) []Float16 {
+	dst := make([]Float16, len(src))
+	for i, v := range src {
+		dst[i] = FromFloat32(v)
+	}
+	return dst
+}
+
+// ToFloat64Slice converts src elementwise; the conversion is exact.
+func ToFloat64Slice(src []Float16) []float64 {
+	dst := make([]float64, len(src))
+	for i, v := range src {
+		dst[i] = v.Float64()
+	}
+	return dst
+}
+
+// ToFloat32Slice converts src elementwise; the conversion is exact.
+func ToFloat32Slice(src []Float16) []float32 {
+	dst := make([]float32, len(src))
+	for i, v := range src {
+		dst[i] = v.Float32()
+	}
+	return dst
+}
+
+// DotMixed computes the inner product of x and y with the CS-1 hardware
+// semantics: exact fp16×fp16 products accumulated sequentially in float32.
+func DotMixed(x, y []Float16) float32 {
+	var acc float32
+	for i := range x {
+		acc = MixedFMAC(acc, x[i], y[i])
+	}
+	return acc
+}
+
+// DotHalf computes the inner product entirely in fp16: products and
+// accumulation both round to fp16 at every step. It exists so the benches
+// can quantify what the mixed accumulate buys (a Figure 9 ablation).
+func DotHalf(x, y []Float16) Float16 {
+	acc := Zero
+	for i := range x {
+		acc = FMA(x[i], y[i], acc)
+	}
+	return acc
+}
+
+// Axpy computes y[i] = y[i] + a*x[i] in fp16 with a single rounding per
+// element (fused multiply-accumulate), the semantics of the CS-1 SIMD-4
+// AXPY instruction.
+func Axpy(a Float16, x, y []Float16) {
+	for i := range x {
+		y[i] = FMA(a, x[i], y[i])
+	}
+}
+
+// MulEl computes dst[i] = a[i] * b[i] in fp16.
+func MulEl(dst, a, b []Float16) {
+	for i := range dst {
+		dst[i] = Mul(a[i], b[i])
+	}
+}
+
+// AddEl computes dst[i] = a[i] + b[i] in fp16.
+func AddEl(dst, a, b []Float16) {
+	for i := range dst {
+		dst[i] = Add(a[i], b[i])
+	}
+}
+
+// Fill sets every element of dst to v.
+func Fill(dst []Float16, v Float16) {
+	for i := range dst {
+		dst[i] = v
+	}
+}

@@ -1,0 +1,127 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/wse"
+)
+
+func runAllReduce(t *testing.T, w, h int, seed int64) (AllReduceResult, []float32) {
+	t.Helper()
+	mach := wse.New(wse.CS1(w, h))
+	ar, err := NewAllReduce(mach, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float32, w*h)
+	for i := range vals {
+		vals[i] = float32(rng.NormFloat64())
+	}
+	res, err := ar.Run(vals, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, vals
+}
+
+func TestAllReduceCorrectness(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {2, 2}, {1, 8}, {8, 1}, {4, 4}, {8, 6}, {7, 7}, {16, 12}, {9, 16}} {
+		res, vals := runAllReduce(t, dims[0], dims[1], int64(dims[0]*100+dims[1]))
+		want := ReferenceSum(vals)
+		n := float64(len(vals))
+		tol := n * MaxAbs(vals) * 1.2e-7 * (1 + math.Log2(n+1))
+		if math.Abs(float64(res.Sum)-want) > tol+1e-12 {
+			t.Errorf("%dx%d: sum = %g, want %g (tol %g)", dims[0], dims[1], res.Sum, want, tol)
+		}
+		// Broadcast: every tile holds the same result.
+		for i, v := range res.PerTile {
+			if v != res.Sum {
+				t.Fatalf("%dx%d: tile %d got %g, root %g", dims[0], dims[1], i, v, res.Sum)
+			}
+		}
+	}
+}
+
+func TestAllReduceLatencyNearDiameter(t *testing.T) {
+	// The paper: "the single cycle-per-hop latency of the interconnect
+	// allows us to implement the AllReduce operation in a cycle count only
+	// about 10% greater than the diameter of the system."
+	for _, dims := range [][2]int{{8, 8}, {16, 16}, {32, 24}, {48, 48}} {
+		res, _ := runAllReduce(t, dims[0], dims[1], 42)
+		diameter := float64(dims[0] + dims[1] - 2)
+		ratio := float64(res.Cycles) / diameter
+		t.Logf("%dx%d: %d cycles, diameter %g, ratio %.3f", dims[0], dims[1], res.Cycles, diameter, ratio)
+		if ratio < 1.0 {
+			t.Errorf("%dx%d: latency %d below diameter %g — impossible", dims[0], dims[1], res.Cycles, diameter)
+		}
+		if ratio > 1.6 {
+			t.Errorf("%dx%d: latency ratio %.2f too far above the paper's ~1.1", dims[0], dims[1], ratio)
+		}
+	}
+}
+
+func TestAllReduceRepeated(t *testing.T) {
+	// BiCGStab does four AllReduces per iteration on the same routing.
+	mach := wse.New(wse.CS1(6, 6))
+	ar, err := NewAllReduce(mach, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 4; rep++ {
+		vals := make([]float32, 36)
+		for i := range vals {
+			vals[i] = float32(i%5) + float32(rep)
+		}
+		res, err := ar.Run(vals, 10000)
+		if err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+		if math.Abs(float64(res.Sum)-ReferenceSum(vals)) > 1e-3 {
+			t.Fatalf("rep %d: sum %g, want %g", rep, res.Sum, ReferenceSum(vals))
+		}
+	}
+}
+
+func TestAllReduceDeterministic(t *testing.T) {
+	// Fixed routing implies a fixed arrival order, so the float32 sum is
+	// bit-reproducible across runs.
+	a, _ := runAllReduce(t, 10, 6, 77)
+	b, _ := runAllReduce(t, 10, 6, 77)
+	if a.Sum != b.Sum {
+		t.Errorf("allreduce not deterministic: %g vs %g", a.Sum, b.Sum)
+	}
+	if a.Cycles != b.Cycles {
+		t.Errorf("allreduce cycle count not deterministic: %d vs %d", a.Cycles, b.Cycles)
+	}
+}
+
+func TestAllReduceSharesFabricWithSpMV(t *testing.T) {
+	// The BiCGStab driver uses stencil colors 0-4 and allreduce colors
+	// 5-10 on the same fabric; both must work after joint configuration.
+	p, h, rng := newSpMVProgram(t, 4, 4, 8, 9)
+	ar, err := NewAllReduce(p.M, NumStencilColors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float32, 16)
+	for i := range vals {
+		vals[i] = float32(rng.Intn(10))
+	}
+	res, err := ar.Run(vals, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(res.Sum)-ReferenceSum(vals)) > 1e-3 {
+		t.Fatalf("sum %g, want %g", res.Sum, ReferenceSum(vals))
+	}
+	// And the SpMV still runs afterwards.
+	vv := randomHalfVector(h.M.N(), rng)
+	p.LoadVector(vv)
+	if _, err := p.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	checkSpMVResult(t, p, h, vv)
+}

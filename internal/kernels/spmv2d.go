@@ -1,0 +1,166 @@
+package kernels
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fp16"
+	"repro/internal/stencil"
+)
+
+// SpMV2D is the paper's sketched 2D mapping (§IV-2): each tile owns a
+// b×b block of a 2D mesh and all nine coefficient diagonals for it. One
+// application computes all nine products per local point with fused
+// multiply-accumulate into an output region extended by a one-point halo,
+// then exchanges output halos with the four neighbours in two rounds —
+// first ±x columns (height b+2), then ±y rows (width b) — "and in this
+// way avoid communication along diagonals of the tile grid".
+//
+// Tiles execute as goroutines with barrier-synchronized exchange rounds,
+// a faithful functional rendering of the dataflow; the cycle/overhead
+// accounting lives in perfmodel (Overhead2D, MaxBlock2D).
+type SpMV2D struct {
+	Mesh   stencil.Mesh2D
+	B      int // block edge
+	TX, TY int
+
+	coeff [9][]fp16.Float16
+
+	// HaloAdds counts the redundant halo-sum additions of the last Apply,
+	// to cross-check the analytic overhead model.
+	HaloAdds int64
+}
+
+// NewSpMV2D builds the program. The mesh must tile exactly into b×b
+// blocks, and the operator must have a unit centre coefficient (diagonal
+// preconditioning, as the efficiency analysis assumes).
+func NewSpMV2D(op *stencil.Op9, b int) (*SpMV2D, error) {
+	m := op.M
+	if b <= 0 || m.NX%b != 0 || m.NY%b != 0 {
+		return nil, fmt.Errorf("kernels: mesh %dx%d does not tile into %d×%d blocks", m.NX, m.NY, b, b)
+	}
+	for i := 0; i < m.N(); i++ {
+		if op.C[4][i] != 1 {
+			return nil, fmt.Errorf("kernels: 2D SpMV requires a unit centre coefficient (got %g at %d)", op.C[4][i], i)
+		}
+	}
+	p := &SpMV2D{Mesh: m, B: b, TX: m.NX / b, TY: m.NY / b}
+	for k := range p.coeff {
+		p.coeff[k] = fp16.FromFloat64Slice(op.C[k])
+	}
+	return p, nil
+}
+
+// tileExt is a tile's extended output region, (b+2)², with cell (i,j) at
+// index (i+1) + (j+1)*(b+2) for i,j in [-1, b].
+type tileExt struct {
+	b   int
+	ext []fp16.Float16
+}
+
+func (t *tileExt) at(i, j int) fp16.Float16 { return t.ext[(i+1)+(j+1)*(t.b+2)] }
+func (t *tileExt) add(i, j int, v fp16.Float16) {
+	idx := (i + 1) + (j+1)*(t.b+2)
+	t.ext[idx] = fp16.Add(t.ext[idx], v)
+}
+
+// Apply computes dst = A·src in fp16 with the block-halo dataflow.
+func (p *SpMV2D) Apply(dst, src []fp16.Float16) {
+	b := p.B
+	nt := p.TX * p.TY
+	exts := make([]*tileExt, nt)
+	var haloAdds atomic.Int64
+
+	// Phase 1: local products, scattered into the extended output region.
+	// Scatter form of u[P] = Σ_k C[k][P]·v[P+off_k]: source cell S
+	// contributes C[k][P]·v[S] to P = S − off_k.
+	parallelTiles(nt, func(ti int) {
+		tx, ty := ti%p.TX, ti/p.TX
+		e := &tileExt{b: b, ext: make([]fp16.Float16, (b+2)*(b+2))}
+		for j := 0; j < b; j++ {
+			for i := 0; i < b; i++ {
+				gx, gy := tx*b+i, ty*b+j
+				v := src[p.Mesh.Index(gx, gy)]
+				for k, off := range stencil.Off9 {
+					dx, dy := -off[0], -off[1]
+					px, py := gx+dx, gy+dy
+					if !p.Mesh.In(px, py) {
+						continue // zero Dirichlet truncation
+					}
+					c := p.coeff[k][p.Mesh.Index(px, py)]
+					e.add(i+dx, j+dy, fp16.Mul(c, v))
+				}
+			}
+		}
+		exts[ti] = e
+	})
+
+	// Phase 2: ±x output-halo columns (height b+2). Within each
+	// sub-round every write targets a distinct element, so tiles can run
+	// concurrently without locks.
+	parallelTiles(nt, func(ti int) {
+		if tx := ti % p.TX; tx > 0 {
+			e, left := exts[ti], exts[ti-1]
+			for j := -1; j <= b; j++ {
+				left.add(b-1, j, e.at(-1, j))
+			}
+			haloAdds.Add(int64(b + 2))
+		}
+	})
+	parallelTiles(nt, func(ti int) {
+		if tx := ti % p.TX; tx < p.TX-1 {
+			e, right := exts[ti], exts[ti+1]
+			for j := -1; j <= b; j++ {
+				right.add(0, j, e.at(b, j))
+			}
+			haloAdds.Add(int64(b + 2))
+		}
+	})
+
+	// Phase 3: ±y output-halo rows (width b; corner contributions were
+	// folded into the x-halos by phase 2).
+	parallelTiles(nt, func(ti int) {
+		if ty := ti / p.TX; ty > 0 {
+			e, up := exts[ti], exts[ti-p.TX]
+			for i := 0; i < b; i++ {
+				up.add(i, b-1, e.at(i, -1))
+			}
+			haloAdds.Add(int64(b))
+		}
+	})
+	parallelTiles(nt, func(ti int) {
+		if ty := ti / p.TX; ty < p.TY-1 {
+			e, down := exts[ti], exts[ti+p.TX]
+			for i := 0; i < b; i++ {
+				down.add(i, 0, e.at(i, b))
+			}
+			haloAdds.Add(int64(b))
+		}
+	})
+
+	// Gather interiors.
+	parallelTiles(nt, func(ti int) {
+		tx, ty := ti%p.TX, ti/p.TX
+		e := exts[ti]
+		for j := 0; j < b; j++ {
+			for i := 0; i < b; i++ {
+				dst[p.Mesh.Index(tx*b+i, ty*b+j)] = e.at(i, j)
+			}
+		}
+	})
+	p.HaloAdds = haloAdds.Load()
+}
+
+// parallelTiles runs fn for every tile index concurrently and waits.
+func parallelTiles(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,135 @@
+package perfmodel
+
+import "math"
+
+// §VIII of the paper: memory-capacity evolution and the compact
+// real-time/UQ/design-space use cases that fit a single wafer.
+
+// TechNode is a silicon process generation of the wafer-scale engine.
+type TechNode struct {
+	Name      string
+	WaferSRAM int64 // bytes across the wafer
+	Year      int
+}
+
+// TechNodes follows §VIII-B: "A technology shrink from the 16 nm to 7 nm
+// technology node will provide about 40 GB of SRAM on the wafer and
+// further increases (to 50 GB at 5 nm) will follow."
+func TechNodes() []TechNode {
+	return []TechNode{
+		{Name: "16nm (CS-1)", WaferSRAM: 18 << 30, Year: 2019},
+		{Name: "7nm", WaferSRAM: 40 << 30, Year: 2021},
+		{Name: "5nm", WaferSRAM: 50 << 30, Year: 2023},
+	}
+}
+
+// MaxMeshpoints returns how many meshpoints of the paper's 3D layout
+// (10 words/point, fp16) a wafer generation can hold.
+func MaxMeshpoints(n TechNode) int64 {
+	return n.WaferSRAM / int64(TileVectorWords(1)*WordBytes)
+}
+
+// MaxCubeMesh returns the largest N such that an N³ mesh fits.
+func MaxCubeMesh(n TechNode) int {
+	return int(math.Cbrt(float64(MaxMeshpoints(n))))
+}
+
+// ---------------------------------------------------------------- §VIII-A
+
+// RealTimeCheck evaluates the helicopter/ship-airwake use case: a mesh of
+// about a million cells needs faster-than-real-time CFD. With the §VI-A
+// projection the CS-1 runs smaller meshes proportionally faster (the
+// solve is Z-bound per tile and the fabric is fixed).
+type RealTimeCheck struct {
+	Meshpoints     int
+	StepsPerSecond float64
+	// RealTime is true when the machine sustains more timesteps/s than
+	// the physical timestep rate requires (taken as 100 steps/s of
+	// simulated time for in-the-loop use).
+	RealTime bool
+}
+
+// HelicopterShipAirwake models the Oruc use case (§VIII-A): ~1M cells.
+// A 100×100×100 mesh occupies a 100×100 corner of the fabric with
+// Z = 100; the timestep rate follows the MFIX projection scaled by Z.
+func HelicopterShipAirwake(m IterModel) RealTimeCheck {
+	w := CS1()
+	z := 100
+	// Per-timestep cycles per z-point at 15 SIMPLE iterations: formation
+	// midpoint of Table II (~7600 cycles) + 525 solver iterations.
+	mesh, _, _ := Headline()
+	perPointIter := m.IterationCycles(w, mesh.Z).Total() / float64(mesh.Z)
+	cycles := (7600 + 525*perPointIter) * float64(z)
+	steps := w.ClockHz / cycles
+	return RealTimeCheck{
+		Meshpoints:     100 * 100 * 100,
+		StepsPerSecond: steps,
+		RealTime:       steps >= 100,
+	}
+}
+
+// ---------------------------------------------------------------- §VIII-B
+
+// Campaign describes a many-run study (UQ, design-space exploration).
+type Campaign struct {
+	Runs           int
+	ClusterSeconds float64 // per run, published
+	CS1Speedup     float64 // from the §VI-A projection
+	ClusterHours   float64
+	CS1Hours       float64
+}
+
+// CarbonCaptureUQ models the Xu et al. study (§VIII-B): 1,505 simulations
+// of ~600 s each. speedup is the CS-1-vs-cluster factor (the paper
+// projects >200× for MFIX-class solves).
+func CarbonCaptureUQ(speedup float64) Campaign {
+	c := Campaign{Runs: 1505, ClusterSeconds: 600, CS1Speedup: speedup}
+	c.ClusterHours = float64(c.Runs) * c.ClusterSeconds / 3600
+	c.CS1Hours = c.ClusterHours / speedup
+	return c
+}
+
+// ShipSelfPropulsion models the Jasak et al. case (§VIII-B): one 11.7M
+// cell run of up to 83 hours on an engineering cluster.
+func ShipSelfPropulsion(speedup float64) Campaign {
+	c := Campaign{Runs: 1, ClusterSeconds: 83 * 3600, CS1Speedup: speedup}
+	c.ClusterHours = 83
+	c.CS1Hours = c.ClusterHours / speedup
+	return c
+}
+
+// WindTurbineOptimization models the Madsen et al. case (§VIII-B):
+// sequential shape optimization needing hundreds of simulations of
+// 14–50M cell meshes. Returns whether the mesh fits each node.
+func WindTurbineOptimization() map[string]bool {
+	fits := make(map[string]bool)
+	for _, n := range TechNodes() {
+		fits[n.Name] = MaxMeshpoints(n) >= 50_000_000
+	}
+	return fits
+}
+
+// ------------------------------------------------- communication hiding
+
+// FusedReductionIterationCycles models the §IV-3 design alternative the
+// paper declined ("we did not use a communication-hiding variant of
+// BiCGStab, [so] this collective operation is blocking"): batching the
+// (q,y) and (y,y) reductions into one wave and overlapping the β
+// reduction with the p-update AXPYs. Three blocking waves (one carrying
+// two scalars, +1 cycle pipelining) instead of four.
+func (m IterModel) FusedReductionIterationCycles(w WSE, z int) Breakdown {
+	b := m.IterationCycles(w, z)
+	single := w.AllReduceCycles()
+	b.AllReduce = 2*single + (single + 1) // α wave, fused ω wave, β wave
+	return b
+}
+
+// ReductionHidingSavings returns the fractional iteration-time saving of
+// the fused variant at the headline configuration.
+func ReductionHidingSavings(m IterModel) float64 {
+	w := CS1()
+	mesh, _, _ := Headline()
+	std := m.IterationCycles(w, mesh.Z).Total()
+	fused := m.FusedReductionIterationCycles(w, mesh.Z).Total()
+	return 1 - fused/std
+}

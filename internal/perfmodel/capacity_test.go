@@ -1,0 +1,91 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTechNodeCapacity(t *testing.T) {
+	nodes := TechNodes()
+	if len(nodes) != 3 {
+		t.Fatal("expected 16nm/7nm/5nm generations")
+	}
+	// §II: 18 GB on the CS-1 wafer; §VIII-B: 40 GB at 7nm, 50 GB at 5nm.
+	if nodes[0].WaferSRAM != 18<<30 || nodes[1].WaferSRAM != 40<<30 || nodes[2].WaferSRAM != 50<<30 {
+		t.Error("wafer SRAM sizes do not match the paper")
+	}
+	// Capacity must grow monotonically and the CS-1 must hold the
+	// headline mesh (600×595×1536 ≈ 5.5e8 points at 10 words/point).
+	headlinePts := int64(600) * 595 * 1536
+	if MaxMeshpoints(nodes[0]) < headlinePts {
+		t.Errorf("CS-1 capacity %d points cannot hold the headline %d", MaxMeshpoints(nodes[0]), headlinePts)
+	}
+	for i := 1; i < len(nodes); i++ {
+		if MaxMeshpoints(nodes[i]) <= MaxMeshpoints(nodes[i-1]) {
+			t.Error("capacity should grow with the node")
+		}
+	}
+	// 600³ fits all generations; cube bound grows.
+	if MaxCubeMesh(nodes[0]) < 600 {
+		t.Errorf("CS-1 max cube %d should exceed 600", MaxCubeMesh(nodes[0]))
+	}
+}
+
+func TestHelicopterRealTime(t *testing.T) {
+	// §VIII-A: "modest meshes of in the neighborhood of one million cells
+	// can provide adequate accuracy, but the necessary real-time
+	// performance is hard to achieve on a cluster" — the wafer achieves it.
+	rc := HelicopterShipAirwake(PaperModel())
+	if rc.Meshpoints != 1_000_000 {
+		t.Errorf("meshpoints = %d", rc.Meshpoints)
+	}
+	if !rc.RealTime {
+		t.Errorf("1M-cell CFD should be real-time on the wafer: %.0f steps/s", rc.StepsPerSecond)
+	}
+	// Sanity: the rate must scale roughly with 1/Z vs the 600³ projection.
+	if rc.StepsPerSecond < 300 || rc.StepsPerSecond > 3000 {
+		t.Errorf("steps/s = %.0f outside the plausible band", rc.StepsPerSecond)
+	}
+}
+
+func TestCampaigns(t *testing.T) {
+	uq := CarbonCaptureUQ(250)
+	if math.Abs(uq.ClusterHours-1505*600.0/3600) > 1e-9 {
+		t.Errorf("UQ cluster hours = %g", uq.ClusterHours)
+	}
+	if uq.CS1Hours > 2 {
+		t.Errorf("UQ campaign on CS-1 should take ~1 hour, got %.2f", uq.CS1Hours)
+	}
+	ship := ShipSelfPropulsion(250)
+	if ship.ClusterHours != 83 {
+		t.Errorf("ship case hours = %g, paper says up to 83", ship.ClusterHours)
+	}
+	if ship.CS1Hours > 1 {
+		t.Errorf("ship case on CS-1 = %.2f h, should be well under an hour", ship.CS1Hours)
+	}
+	fits := WindTurbineOptimization()
+	// 50M cells at 10 words/point = 1 GB: fits every generation.
+	for name, ok := range fits {
+		if !ok {
+			t.Errorf("50M-cell turbine mesh should fit %s", name)
+		}
+	}
+}
+
+func TestFusedReductionSavings(t *testing.T) {
+	// Fusing the ω reductions saves about one AllReduce of the four —
+	// a few percent of the headline iteration.
+	save := ReductionHidingSavings(PaperModel())
+	if save <= 0 || save > 0.10 {
+		t.Errorf("fused-reduction saving = %.3f, expected a few percent", save)
+	}
+	w := CS1()
+	std := PaperModel().IterationCycles(w, 1536)
+	fused := PaperModel().FusedReductionIterationCycles(w, 1536)
+	if fused.AllReduce >= std.AllReduce {
+		t.Error("fused variant must spend fewer AllReduce cycles")
+	}
+	if fused.SpMV != std.SpMV || fused.Axpy != std.Axpy || fused.Dot != std.Dot {
+		t.Error("fusing reductions must not change compute phases")
+	}
+}

@@ -1,0 +1,108 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stencil"
+)
+
+func TestFusedMatchesStandardBitwise(t *testing.T) {
+	// The fused variant reorders no arithmetic in a sequential context,
+	// so in fp64 its history is bit-identical to standard BiCGStab.
+	m := stencil.Mesh{NX: 5, NY: 5, NZ: 5}
+	rng := rand.New(rand.NewSource(12))
+	op := stencil.RandomDiagDominant(m, 1.5, rng)
+	xe := make([]float64, m.N())
+	for i := range xe {
+		xe[i] = rng.NormFloat64()
+	}
+	run := func(f func(Context, Operator, Vector, Vector, Options) (Stats, error)) ([]float64, []float64) {
+		ctx := NewF64()
+		a, b, x, _, _ := setupProblem(ctx, op, xe)
+		st, err := f(ctx, a, b, x, Options{MaxIter: 20, Tol: 0, RecordHistory: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.History, x.Float64()
+	}
+	h1, x1 := run(BiCGStab)
+	h2, x2 := run(BiCGStabFused)
+	if len(h1) != len(h2) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(h1), len(h2))
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("history[%d] differs: %g vs %g", i, h1[i], h2[i])
+		}
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("x[%d] differs: %g vs %g", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestFusedConverges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := stencil.Mesh{NX: 2 + rng.Intn(3), NY: 2 + rng.Intn(3), NZ: 2 + rng.Intn(3)}
+		op := stencil.RandomDiagDominant(m, 1.5, rng)
+		xe := make([]float64, m.N())
+		for i := range xe {
+			xe[i] = rng.NormFloat64()
+		}
+		ctx := NewF64()
+		a, b, x, _, _ := setupProblem(ctx, op, xe)
+		st, err := BiCGStabFused(ctx, a, b, x, Options{MaxIter: 400, Tol: 1e-10})
+		if err != nil {
+			return false
+		}
+		if !st.Converged && st.FinalResidual > 1e-8 {
+			return false
+		}
+		for i := range xe {
+			if math.Abs(x.At(i)-xe[i]) > 1e-5*(1+math.Abs(xe[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFusedOperationCountsUnchanged(t *testing.T) {
+	// Fusing reductions must not change Table I: still 4 dots, 6 AXPYs,
+	// 2 matvecs per iteration.
+	m := stencil.Mesh{NX: 4, NY: 4, NZ: 4}
+	op := stencil.RandomDiagDominant(m, 1.5, rand.New(rand.NewSource(3)))
+	xe := make([]float64, m.N())
+	for i := range xe {
+		xe[i] = 1
+	}
+	n := int64(m.N())
+	ctx := NewMixed()
+	runN := func(iters int) OpCounts {
+		a, b, x, _, _ := setupProblem(ctx, op, xe)
+		ctx.Counters().Reset()
+		if _, err := BiCGStabFused(ctx, a, b, x, Options{MaxIter: iters}); err != nil {
+			t.Fatal(err)
+		}
+		_ = a
+		_ = b
+		_ = x
+		return ctx.Counters().Totals()
+	}
+	c1, c3 := runN(1), runN(3)
+	hpAdd := (c3.HPAdd - c1.HPAdd) / 2
+	hpMul := (c3.HPMul - c1.HPMul) / 2
+	spAdd := (c3.SPAdd - c1.SPAdd) / 2
+	if hpAdd != 18*n || hpMul != 22*n || spAdd != 4*n {
+		t.Errorf("fused per-iteration counts %d/%d/%d per mesh, want 18/22/4 × n",
+			hpAdd, hpMul, spAdd)
+	}
+}

@@ -1,0 +1,341 @@
+package stencil
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fp16"
+)
+
+func TestMeshIndexRoundTrip(t *testing.T) {
+	m := Mesh{NX: 5, NY: 4, NZ: 7}
+	seen := make(map[int]bool)
+	for x := 0; x < m.NX; x++ {
+		for y := 0; y < m.NY; y++ {
+			for z := 0; z < m.NZ; z++ {
+				i := m.Index(x, y, z)
+				if i < 0 || i >= m.N() || seen[i] {
+					t.Fatalf("index (%d,%d,%d) -> %d invalid or duplicate", x, y, z, i)
+				}
+				seen[i] = true
+				gx, gy, gz := m.Coords(i)
+				if gx != x || gy != y || gz != z {
+					t.Fatalf("Coords(%d) = (%d,%d,%d), want (%d,%d,%d)", i, gx, gy, gz, x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestZColumnContiguity(t *testing.T) {
+	// The wafer mapping requires each (x,y) column to be contiguous in z.
+	m := Mesh{NX: 3, NY: 3, NZ: 8}
+	for z := 1; z < m.NZ; z++ {
+		if m.Index(1, 2, z) != m.Index(1, 2, z-1)+1 {
+			t.Fatal("z-column is not contiguous")
+		}
+	}
+}
+
+// denseApply is an independent O(N·N) reference built from the stencil
+// structure, used to validate the optimized Apply.
+func denseApply(o *Op7, src []float64) []float64 {
+	m := o.M
+	dst := make([]float64, m.N())
+	type nb struct {
+		c          []float64
+		dx, dy, dz int
+	}
+	nbs := []nb{
+		{o.D, 0, 0, 0}, {o.XP, 1, 0, 0}, {o.XM, -1, 0, 0},
+		{o.YP, 0, 1, 0}, {o.YM, 0, -1, 0}, {o.ZP, 0, 0, 1}, {o.ZM, 0, 0, -1},
+	}
+	for x := 0; x < m.NX; x++ {
+		for y := 0; y < m.NY; y++ {
+			for z := 0; z < m.NZ; z++ {
+				i := m.Index(x, y, z)
+				for _, n := range nbs {
+					if m.In(x+n.dx, y+n.dy, z+n.dz) {
+						dst[i] += n.c[i] * src[m.Index(x+n.dx, y+n.dy, z+n.dz)]
+					}
+				}
+			}
+		}
+	}
+	return dst
+}
+
+func TestApplyAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range []Mesh{{2, 2, 2}, {4, 3, 5}, {1, 6, 2}, {7, 1, 1}} {
+		o := RandomDiagDominant(m, 1.5, rng)
+		src := make([]float64, m.N())
+		for i := range src {
+			src[i] = rng.NormFloat64()
+		}
+		got := make([]float64, m.N())
+		o.Apply(got, src)
+		want := denseApply(o, src)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+				t.Fatalf("mesh %v: Apply[%d] = %g, want %g", m, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPoissonSymmetry(t *testing.T) {
+	// <Au, v> == <u, Av> for the Poisson operator.
+	m := Mesh{4, 4, 4}
+	o := Poisson(m, 0.25)
+	rng := rand.New(rand.NewSource(3))
+	u := make([]float64, m.N())
+	v := make([]float64, m.N())
+	for i := range u {
+		u[i], v[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	au := make([]float64, m.N())
+	av := make([]float64, m.N())
+	o.Apply(au, u)
+	o.Apply(av, v)
+	var a, b float64
+	for i := range u {
+		a += au[i] * v[i]
+		b += u[i] * av[i]
+	}
+	if math.Abs(a-b) > 1e-9*math.Abs(a) {
+		t.Errorf("Poisson not symmetric: <Au,v>=%g <u,Av>=%g", a, b)
+	}
+}
+
+func TestPoissonPositiveDefinite(t *testing.T) {
+	m := Mesh{5, 5, 5}
+	o := Poisson(m, 1)
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := make([]float64, m.N())
+		nonzero := false
+		for i := range u {
+			u[i] = r.NormFloat64()
+			nonzero = nonzero || u[i] != 0
+		}
+		if !nonzero {
+			return true
+		}
+		au := make([]float64, m.N())
+		o.Apply(au, u)
+		var q float64
+		for i := range u {
+			q += u[i] * au[i]
+		}
+		return q > 0
+	}
+	for i := 0; i < 50; i++ {
+		if !f(rng.Int63()) {
+			t.Fatal("Poisson operator not positive definite")
+		}
+	}
+}
+
+func TestConvectionDiffusionNonsymmetric(t *testing.T) {
+	m := Mesh{4, 4, 4}
+	o := ConvectionDiffusion(m, 0.1, [3]float64{1, 0.5, -0.25}, 0.25)
+	u := make([]float64, m.N())
+	v := make([]float64, m.N())
+	rng := rand.New(rand.NewSource(5))
+	for i := range u {
+		u[i], v[i] = rng.NormFloat64(), rng.NormFloat64()
+	}
+	au := make([]float64, m.N())
+	av := make([]float64, m.N())
+	o.Apply(au, u)
+	o.Apply(av, v)
+	var a, b float64
+	for i := range u {
+		a += au[i] * v[i]
+		b += u[i] * av[i]
+	}
+	if math.Abs(a-b) < 1e-9 {
+		t.Error("convection-diffusion operator should be nonsymmetric")
+	}
+}
+
+func TestUpwindRowSums(t *testing.T) {
+	// With upwinding, every interior row of the convection part sums to
+	// zero and the operator remains an M-matrix-like row-dominant system.
+	m := Mesh{5, 5, 5}
+	o := ConvectionDiffusion(m, 0.2, [3]float64{0.7, -0.3, 0.1}, 0.2)
+	i := m.Index(2, 2, 2) // interior point
+	row := o.D[i] + o.XP[i] + o.XM[i] + o.YP[i] + o.YM[i] + o.ZP[i] + o.ZM[i]
+	if math.Abs(row) > 1e-12 {
+		t.Errorf("interior row sum = %g, want 0 (conservation)", row)
+	}
+	offsum := math.Abs(o.XP[i]) + math.Abs(o.XM[i]) + math.Abs(o.YP[i]) +
+		math.Abs(o.YM[i]) + math.Abs(o.ZP[i]) + math.Abs(o.ZM[i])
+	if o.D[i] < offsum-1e-12 {
+		t.Errorf("diagonal %g weaker than off-diagonals %g", o.D[i], offsum)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	m := Mesh{3, 3, 3}
+	rng := rand.New(rand.NewSource(9))
+	o := RandomDiagDominant(m, 2, rng)
+	norm, diag := o.Normalize()
+	if !norm.IsUnitDiagonal() {
+		t.Fatal("normalized operator does not have a unit diagonal")
+	}
+	// (D^-1 A) x must equal D^-1 (A x).
+	x := make([]float64, m.N())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ax := make([]float64, m.N())
+	o.Apply(ax, x)
+	nx := make([]float64, m.N())
+	norm.Apply(nx, x)
+	for i := range x {
+		if math.Abs(nx[i]-ax[i]/diag[i]) > 1e-12*(1+math.Abs(nx[i])) {
+			t.Fatalf("normalize mismatch at %d: %g vs %g", i, nx[i], ax[i]/diag[i])
+		}
+	}
+	// Scaled RHS preserves the solution set: residual of (norm, scaled b).
+	b := make([]float64, m.N())
+	o.Apply(b, x) // b = A x, so x solves both systems
+	sb := ScaleRHS(b, diag)
+	if r := norm.ResidualNorm(x, sb); r > 1e-10 {
+		t.Errorf("solution does not satisfy normalized system: residual %g", r)
+	}
+}
+
+func TestOp7HalfApplyErrorBound(t *testing.T) {
+	// fp16 apply must match the float64 apply of the fp16-rounded operator
+	// within the standard summation error bound γ₇·Σ|terms|.
+	m := Mesh{4, 4, 8}
+	rng := rand.New(rand.NewSource(2))
+	o := RandomDiagDominant(m, 2, rng)
+	norm, _ := o.Normalize()
+	h := NewOp7Half(norm)
+
+	src64 := make([]float64, m.N())
+	for i := range src64 {
+		src64[i] = rng.Float64()*2 - 1
+	}
+	src := fp16.FromFloat64Slice(src64)
+	// Reference uses the fp16-rounded inputs exactly.
+	refOp := NewOp7(m)
+	for i := range refOp.D {
+		refOp.D[i] = 1
+		refOp.XP[i] = h.XP[i].Float64()
+		refOp.XM[i] = h.XM[i].Float64()
+		refOp.YP[i] = h.YP[i].Float64()
+		refOp.YM[i] = h.YM[i].Float64()
+		refOp.ZP[i] = h.ZP[i].Float64()
+		refOp.ZM[i] = h.ZM[i].Float64()
+	}
+	srcBack := fp16.ToFloat64Slice(src)
+	want := make([]float64, m.N())
+	refOp.Apply(want, srcBack)
+
+	dst := make([]fp16.Float16, m.N())
+	h.Apply(dst, src)
+	gamma := 8 * fp16.Epsilon // 7 terms + final rounding, slack for subnormals
+	for i := range want {
+		// Σ|terms| ≤ 6·max|coeff|·max|src| + |src| ≤ 7 here.
+		if math.Abs(dst[i].Float64()-want[i]) > gamma*8 {
+			t.Fatalf("fp16 apply[%d] = %g, want %g ± %g", i, dst[i].Float64(), want[i], gamma*8)
+		}
+	}
+}
+
+func TestOp7HalfRequiresUnitDiagonal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewOp7Half should panic on a non-normalized operator")
+		}
+	}()
+	NewOp7Half(Poisson(Mesh{2, 2, 2}, 1))
+}
+
+func TestOp9AgainstDense(t *testing.T) {
+	m := Mesh2D{6, 5}
+	rng := rand.New(rand.NewSource(4))
+	o := Random9(m, 1.2, rng)
+	src := make([]float64, m.N())
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	got := make([]float64, m.N())
+	o.Apply(got, src)
+	for y := 0; y < m.NY; y++ {
+		for x := 0; x < m.NX; x++ {
+			i := m.Index(x, y)
+			var want float64
+			for k, off := range Off9 {
+				nx, ny := x+off[0], y+off[1]
+				if m.In(nx, ny) {
+					want += o.C[k][i] * src[m.Index(nx, ny)]
+				}
+			}
+			if math.Abs(got[i]-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("Op9.Apply(%d,%d) = %g, want %g", x, y, got[i], want)
+			}
+		}
+	}
+}
+
+func TestPoisson9Normalize(t *testing.T) {
+	m := Mesh2D{8, 8}
+	o := Poisson9(m, 0.125)
+	n, scale := o.Normalize9()
+	for i := 0; i < m.N(); i++ {
+		if n.C[4][i] != 1 {
+			t.Fatal("centre coefficient not normalized to 1")
+		}
+		if scale[i] <= 0 {
+			t.Fatal("Poisson9 centre coefficient should be positive")
+		}
+	}
+}
+
+func TestApplyLinearity(t *testing.T) {
+	// A(αu + v) = αAu + Av — catches index aliasing bugs.
+	m := Mesh{3, 4, 5}
+	rng := rand.New(rand.NewSource(13))
+	o := RandomDiagDominant(m, 1.1, rng)
+	f := func(alpha float64, seed int64) bool {
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.Abs(alpha) > 1e6 {
+			return true
+		}
+		r := rand.New(rand.NewSource(seed))
+		n := m.N()
+		u := make([]float64, n)
+		v := make([]float64, n)
+		for i := range u {
+			u[i], v[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = alpha*u[i] + v[i]
+		}
+		au := make([]float64, n)
+		av := make([]float64, n)
+		aw := make([]float64, n)
+		o.Apply(au, u)
+		o.Apply(av, v)
+		o.Apply(aw, w)
+		for i := range w {
+			want := alpha*au[i] + av[i]
+			if math.Abs(aw[i]-want) > 1e-9*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package tensor
+
+import "repro/internal/fp16"
+
+// Descriptor-driven vector operations. These are the functional semantics
+// of the CS-1 vector instructions the SpMV listing launches: each processes
+// elements in order, one rounding per element, and leaves the destination
+// descriptor advanced — exactly the property the paper relies on when five
+// FIFO-draining adds all alias the same output vector u.
+
+// MulInto computes dst[i] = a[i] * b[i] elementwise over the descriptors,
+// which must have equal lengths.
+func MulInto(ar *Arena, dst, a, b Descriptor) {
+	dst.Reset()
+	a.Reset()
+	b.Reset()
+	for !dst.Done() {
+		ar.Set(dst.Next(), fp16.Mul(ar.At(a.Next()), ar.At(b.Next())))
+	}
+}
+
+// AddInto computes dst[i] = a[i] + b[i] elementwise.
+func AddInto(ar *Arena, dst, a, b Descriptor) {
+	dst.Reset()
+	a.Reset()
+	b.Reset()
+	for !dst.Done() {
+		ar.Set(dst.Next(), fp16.Add(ar.At(a.Next()), ar.At(b.Next())))
+	}
+}
+
+// AccumulateInto computes dst[i] += src[i] elementwise.
+func AccumulateInto(ar *Arena, dst, src Descriptor) {
+	dst.Reset()
+	src.Reset()
+	for !dst.Done() {
+		p := dst.Next()
+		ar.Set(p, fp16.Add(ar.At(p), ar.At(src.Next())))
+	}
+}
+
+// AxpyInto computes dst[i] = dst[i] + s*src[i] with one rounding per
+// element (the SIMD-4 FMAC semantics).
+func AxpyInto(ar *Arena, s fp16.Float16, dst, src Descriptor) {
+	dst.Reset()
+	src.Reset()
+	for !dst.Done() {
+		p := dst.Next()
+		ar.Set(p, fp16.FMA(s, ar.At(src.Next()), ar.At(p)))
+	}
+}
+
+// CopyInto copies src to dst elementwise.
+func CopyInto(ar *Arena, dst, src Descriptor) {
+	dst.Reset()
+	src.Reset()
+	for !dst.Done() {
+		ar.Set(dst.Next(), ar.At(src.Next()))
+	}
+}
+
+// DotMixedDesc computes the mixed-precision inner product of two
+// descriptor operands: exact fp16 products, float32 accumulation.
+func DotMixedDesc(ar *Arena, a, b Descriptor) float32 {
+	a.Reset()
+	b.Reset()
+	var acc float32
+	for !a.Done() {
+		acc = fp16.MixedFMAC(acc, ar.At(a.Next()), ar.At(b.Next()))
+	}
+	return acc
+}
+
+// FIFO is the software model of a CS-1 hardware-managed in-memory FIFO: a
+// circular buffer over an arena region with head/tail registers maintained
+// by the hardware, able to activate a task whenever data is pushed. The
+// SpMV kernel allocates five of these ("term[5][20]") to forward streaming
+// elementwise products from multiplier threads to the summation task.
+type FIFO struct {
+	baseOff    int
+	capWords   int
+	head, tail int
+	count      int
+	OnPush     func() // task activation hook, set by the kernel
+}
+
+// NewFIFO creates a FIFO over words elements of the arena starting at base.
+func NewFIFO(base, words int) *FIFO {
+	return &FIFO{baseOff: base, capWords: words}
+}
+
+// Cap returns the FIFO capacity in elements.
+func (f *FIFO) Cap() int { return f.capWords }
+
+// Len returns the number of buffered elements.
+func (f *FIFO) Len() int { return f.count }
+
+// Full reports whether a push would block.
+func (f *FIFO) Full() bool { return f.count == f.capWords }
+
+// Push appends v, returning false if the FIFO is full (the pushing thread
+// stalls). A successful push fires the OnPush activation.
+func (f *FIFO) Push(ar *Arena, v fp16.Float16) bool {
+	if f.Full() {
+		return false
+	}
+	ar.Set(f.baseOff+f.tail, v)
+	f.tail = (f.tail + 1) % f.capWords
+	f.count++
+	if f.OnPush != nil {
+		f.OnPush()
+	}
+	return true
+}
+
+// Pop removes and returns the oldest element; ok is false when empty.
+func (f *FIFO) Pop(ar *Arena) (v fp16.Float16, ok bool) {
+	if f.count == 0 {
+		return 0, false
+	}
+	v = ar.At(f.baseOff + f.head)
+	f.head = (f.head + 1) % f.capWords
+	f.count--
+	return v, true
+}

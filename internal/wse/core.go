@@ -1,0 +1,297 @@
+package wse
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/fp16"
+)
+
+// MaxThreads is the number of concurrent execution threads a core
+// supports ("The core supports nine concurrent threads of execution").
+const MaxThreads = 9
+
+// Task is a schedulable unit of code that reacts to events. Tasks are
+// triggered (activated) by other tasks, by FIFO pushes, or by thread
+// completions, and may be blocked/unblocked independently. The hardware
+// scheduler runs one task at a time per core; Priority tasks are selected
+// first ("It is marked as higher priority to avoid a race condition").
+type Task struct {
+	Name     string
+	Priority bool
+	// Instrs is the task's body: a sequence of vector instructions
+	// executed on the shared datapath.
+	Instrs []Instr
+	// OnComplete runs control actions (block/unblock/activate) when the
+	// body finishes. Control actions are free, as in the hardware.
+	OnComplete func(c *Core)
+
+	blocked   bool
+	activated bool
+	running   bool
+	pc        int
+}
+
+// Thread is a background thread slot running one asynchronous vector
+// instruction.
+type thread struct {
+	instr  Instr
+	onDone func(c *Core)
+	name   string
+}
+
+// Core is the execution engine of one tile.
+type Core struct {
+	m    *Machine
+	tile *Tile
+
+	tasks   []*Task
+	current *Task
+
+	threads [MaxThreads]*thread
+
+	// rx stream fanout: a fabric color's arriving words are distributed to
+	// every subscribed stream buffer; a word is consumed from the fabric
+	// receive queue only when all subscribers can accept it (hardware
+	// delivers arriving data directly to the functional units consuming
+	// the stream).
+	subs map[fabric.Color][]*StreamBuf
+
+	sentThisCycle bool
+
+	// Stats
+	busyCycles  int64
+	lanesUsed   int64
+	totalCycles int64
+}
+
+func newCore(m *Machine, t *Tile) *Core {
+	return &Core{m: m, tile: t, subs: make(map[fabric.Color][]*StreamBuf)}
+}
+
+// AddTask registers a task with the scheduler. Tasks start deactivated;
+// use Activate (or Task.activated via TaskState) to make them runnable.
+func (c *Core) AddTask(t *Task) *Task {
+	c.tasks = append(c.tasks, t)
+	return t
+}
+
+// Activate marks t runnable. An activation received while t runs is
+// remembered, so data pushed during execution re-triggers it — the FIFO
+// semantics sumtask relies on.
+func (c *Core) Activate(t *Task) { t.activated = true }
+
+// Block prevents t from being scheduled until unblocked.
+func (c *Core) Block(t *Task) { t.blocked = true }
+
+// Unblock clears t's blocked state.
+func (c *Core) Unblock(t *Task) { t.blocked = false }
+
+// LaunchThread starts instr in the given thread slot. It panics if the
+// slot is occupied — the programmer owns slot assignment, as in the
+// hardware ("a thread resource assigned (.thr = 5)").
+func (c *Core) LaunchThread(slot int, name string, instr Instr, onDone func(*Core)) {
+	if slot < 0 || slot >= MaxThreads {
+		panic(fmt.Sprintf("wse: thread slot %d out of range", slot))
+	}
+	if c.threads[slot] != nil {
+		panic(fmt.Sprintf("wse: thread slot %d (%s) already running %s", slot, name, c.threads[slot].name))
+	}
+	c.threads[slot] = &thread{instr: instr, onDone: onDone, name: name}
+}
+
+// Subscribe attaches a stream buffer to a fabric color. All subscribers
+// of a color receive every arriving word.
+func (c *Core) Subscribe(col fabric.Color, b *StreamBuf) {
+	c.subs[col] = append(c.subs[col], b)
+}
+
+// Send injects one word into the fabric; at most one send per cycle
+// crosses the ramp. Returns false if the ramp is busy or backpressured.
+func (c *Core) Send(w fabric.Word) bool {
+	if c.sentThisCycle {
+		return false
+	}
+	if !c.m.Fab.Send(c.tile.Coord, w) {
+		return false
+	}
+	c.sentThisCycle = true
+	return true
+}
+
+// busy reports whether the core has runnable work.
+func (c *Core) busy() bool {
+	if c.current != nil {
+		return true
+	}
+	for _, t := range c.tasks {
+		if t.activated && !t.blocked {
+			return true
+		}
+	}
+	for _, th := range c.threads {
+		if th != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Utilization returns the fraction of cycles with any datapath issue and
+// the mean lanes used per cycle.
+func (c *Core) Utilization() (busyFrac, lanesPerCycle float64) {
+	if c.totalCycles == 0 {
+		return 0, 0
+	}
+	return float64(c.busyCycles) / float64(c.totalCycles),
+		float64(c.lanesUsed) / float64(c.totalCycles)
+}
+
+// step runs one cycle of the core.
+func (c *Core) step() {
+	c.totalCycles++
+	c.sentThisCycle = false
+
+	// 1. Distribute arriving fabric words to stream subscribers: one word
+	// per color per cycle, only if every subscriber has space.
+	for col, bufs := range c.subs {
+		if len(bufs) == 0 {
+			continue
+		}
+		ok := true
+		for _, b := range bufs {
+			if b.full() {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if w, got := c.m.Fab.Recv(c.tile.Coord, col); got {
+			lo, hi := w.UnpackF16()
+			for _, b := range bufs {
+				b.push(lo, hi)
+			}
+		}
+	}
+
+	// 2. Pick a task if none is running.
+	if c.current == nil {
+		c.current = c.pick()
+		if c.current != nil {
+			c.current.running = true
+			c.current.activated = false
+			c.current.pc = 0
+		}
+	}
+
+	// 3. Share datapath lanes round-robin among the running task's current
+	// instruction and all threads.
+	lanes := c.m.Cfg.SIMDWidth
+	units := make([]Instr, 0, MaxThreads+1)
+	if c.current != nil && c.current.pc < len(c.current.Instrs) {
+		units = append(units, c.current.Instrs[c.current.pc])
+	}
+	for _, th := range c.threads {
+		if th != nil {
+			units = append(units, th.instr)
+		}
+	}
+	used := 0
+	for pass := 0; pass < 2 && len(units) > 0; pass++ {
+		// Zero-lane instructions (sends) still progress when the datapath
+		// is saturated; a second pass lets units take leftover lanes.
+		for _, u := range units {
+			give := lanes
+			if give < 0 {
+				give = 0
+			}
+			n := u.Step(c, give)
+			lanes -= n
+			used += n
+		}
+		if lanes <= 0 {
+			break
+		}
+	}
+	if used > 0 {
+		c.busyCycles++
+		c.lanesUsed += int64(used)
+	}
+
+	// 4. Retire completed work.
+	if c.current != nil {
+		t := c.current
+		for t.pc < len(t.Instrs) && t.Instrs[t.pc].Done() {
+			t.pc++
+		}
+		if t.pc >= len(t.Instrs) {
+			t.running = false
+			c.current = nil
+			if t.OnComplete != nil {
+				t.OnComplete(c)
+			}
+		}
+	}
+	for i, th := range c.threads {
+		if th != nil && th.instr.Done() {
+			c.threads[i] = nil
+			if th.onDone != nil {
+				th.onDone(c)
+			}
+		}
+	}
+}
+
+// pick selects the next task: priority tasks first, then registration
+// order.
+func (c *Core) pick() *Task {
+	var fallback *Task
+	for _, t := range c.tasks {
+		if !t.activated || t.blocked {
+			continue
+		}
+		if t.Priority {
+			return t
+		}
+		if fallback == nil {
+			fallback = t
+		}
+	}
+	return fallback
+}
+
+// StreamBuf is a small elementwise buffer between the ramp and a consuming
+// instruction: arriving words are unpacked into fp16 elements here. Its
+// depth (in elements) bounds how far the fabric can run ahead of the
+// datapath.
+type StreamBuf struct {
+	buf        []fp16.Float16
+	head, size int
+}
+
+// NewStreamBuf returns a buffer with capacity for depth words (2·depth
+// elements).
+func NewStreamBuf(depthWords int) *StreamBuf {
+	return &StreamBuf{buf: make([]fp16.Float16, 2*depthWords)}
+}
+
+func (b *StreamBuf) full() bool { return len(b.buf)-b.size < 2 }
+
+// Len returns the buffered element count.
+func (b *StreamBuf) Len() int { return b.size }
+
+func (b *StreamBuf) push(lo, hi fp16.Float16) {
+	b.buf[(b.head+b.size)%len(b.buf)] = lo
+	b.size++
+	b.buf[(b.head+b.size)%len(b.buf)] = hi
+	b.size++
+}
+
+func (b *StreamBuf) pop() fp16.Float16 {
+	v := b.buf[b.head]
+	b.head = (b.head + 1) % len(b.buf)
+	b.size--
+	return v
+}

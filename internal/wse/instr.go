@@ -1,0 +1,306 @@
+package wse
+
+import (
+	"math"
+
+	"repro/internal/fabric"
+	"repro/internal/fp16"
+	"repro/internal/tensor"
+)
+
+// Instr is a vector instruction executing over multiple cycles on the
+// core datapath. Step performs up to `lanes` element-operations and
+// returns how many datapath lanes it consumed; Done reports completion.
+// Instructions keep their progress in tensor descriptors, which is what
+// lets five FIFO-draining adds alias one output vector safely.
+type Instr interface {
+	Step(c *Core, lanes int) (used int)
+	Done() bool
+}
+
+// ElemSource supplies fp16 elements to a consuming instruction: either a
+// fabric stream buffer or a memory operand. Implementations live in this
+// package (StreamSource, MemSource).
+type ElemSource interface {
+	avail() int
+	take() fp16.Float16
+}
+
+// StreamSource adapts a StreamBuf (fabric input) as an element source.
+type StreamSource struct{ B *StreamBuf }
+
+func (s StreamSource) avail() int         { return s.B.Len() }
+func (s StreamSource) take() fp16.Float16 { return s.B.pop() }
+
+// MemSource reads elements through a descriptor from the tile arena.
+type MemSource struct {
+	A *tensor.Arena
+	D *tensor.Descriptor
+}
+
+func (s MemSource) avail() int {
+	return s.D.Len() - s.D.Advanced()
+}
+func (s MemSource) take() fp16.Float16 { return s.A.At(s.D.Next()) }
+
+// --------------------------------------------------------------- MemOp
+
+// MemOpKind selects the elementwise operation of a MemOp.
+type MemOpKind int
+
+// MemOp kinds.
+const (
+	OpMul  MemOpKind = iota // dst = a * b
+	OpAdd                   // dst = a + b
+	OpAxpy                  // dst = dst + s*a   (FMAC)
+	OpCopy                  // dst = a
+	OpFMA                   // dst = s*a + b     (FMAC, three operands)
+	OpXPAY                  // dst = a + s*dst   (FMAC)
+)
+
+// MemOp is a memory-to-memory vector instruction (one of the SIMD tensor
+// instructions of the ISA). Cost: one lane per element for fp16 ops.
+type MemOp struct {
+	Kind    MemOpKind
+	Arena   *tensor.Arena
+	Dst     tensor.Descriptor
+	A, B    tensor.Descriptor
+	S       fp16.Float16 // scalar for OpAxpy
+	started bool
+}
+
+// Reset rewinds the instruction for reuse.
+func (m *MemOp) Reset() {
+	m.Dst.Reset()
+	m.A.Reset()
+	m.B.Reset()
+	m.started = false
+}
+
+// Done implements Instr.
+func (m *MemOp) Done() bool { return m.started && m.Dst.Done() }
+
+// Step implements Instr.
+func (m *MemOp) Step(c *Core, lanes int) int {
+	m.started = true
+	used := 0
+	for used < lanes && !m.Dst.Done() {
+		di := m.Dst.Next()
+		switch m.Kind {
+		case OpMul:
+			m.Arena.Set(di, fp16.Mul(m.Arena.At(m.A.Next()), m.Arena.At(m.B.Next())))
+		case OpAdd:
+			m.Arena.Set(di, fp16.Add(m.Arena.At(m.A.Next()), m.Arena.At(m.B.Next())))
+		case OpAxpy:
+			m.Arena.Set(di, fp16.FMA(m.S, m.Arena.At(m.A.Next()), m.Arena.At(di)))
+		case OpCopy:
+			m.Arena.Set(di, m.Arena.At(m.A.Next()))
+		case OpFMA:
+			m.Arena.Set(di, fp16.FMA(m.S, m.Arena.At(m.A.Next()), m.Arena.At(m.B.Next())))
+		case OpXPAY:
+			m.Arena.Set(di, fp16.FMA(m.S, m.Arena.At(di), m.Arena.At(m.A.Next())))
+		}
+		used++
+	}
+	return used
+}
+
+// --------------------------------------------------------------- MulToFIFO
+
+// MulToFIFO multiplies a streaming source by a memory coefficient vector
+// and pushes products into a hardware FIFO — the body of the five SpMV
+// multiplier threads. It stalls when the FIFO is full or the stream is
+// dry. Total is the element count (Z).
+type MulToFIFO struct {
+	Src   ElemSource
+	Coeff tensor.Descriptor
+	FIFO  *tensor.FIFO
+	Arena *tensor.Arena
+	Total int
+	done  int
+}
+
+// Done implements Instr.
+func (m *MulToFIFO) Done() bool { return m.done >= m.Total }
+
+// Step implements Instr.
+func (m *MulToFIFO) Step(c *Core, lanes int) int {
+	used := 0
+	for used < lanes && m.done < m.Total && m.Src.avail() > 0 && !m.FIFO.Full() {
+		v := m.Src.take()
+		p := fp16.Mul(m.Arena.At(m.Coeff.Next()), v)
+		if !m.FIFO.Push(m.Arena, p) {
+			panic("wse: FIFO push failed after Full check")
+		}
+		m.done++
+		used++
+	}
+	return used
+}
+
+// --------------------------------------------------------------- StreamAdd
+
+// StreamAdd accumulates a streaming source into a memory accumulator:
+// acc[] = acc[] + rx[], the main-diagonal thread of the SpMV (thread 5 in
+// the listing — no multiply, because the diagonal is all ones).
+type StreamAdd struct {
+	Src   ElemSource
+	Acc   tensor.Descriptor
+	Arena *tensor.Arena
+	Total int
+	done  int
+}
+
+// Done implements Instr.
+func (s *StreamAdd) Done() bool { return s.done >= s.Total }
+
+// Step implements Instr.
+func (s *StreamAdd) Step(c *Core, lanes int) int {
+	used := 0
+	for used < lanes && s.done < s.Total && s.Src.avail() > 0 {
+		p := s.Acc.Next()
+		s.Arena.Set(p, fp16.Add(s.Arena.At(p), s.Src.take()))
+		s.done++
+		used++
+	}
+	return used
+}
+
+// --------------------------------------------------------------- FIFOAdd
+
+// FIFOAdd drains whatever a FIFO currently holds into an accumulator,
+// finishing when the FIFO is empty; its destination descriptor tracks
+// progress across invocations, so repeated activations of the summation
+// task accumulate exactly Total elements. This is one of sumtask's five
+// adds.
+type FIFOAdd struct {
+	FIFO  *tensor.FIFO
+	Acc   tensor.Descriptor
+	Arena *tensor.Arena
+	Total int
+	added int
+}
+
+// Done implements Instr: done when the FIFO has nothing more right now.
+// (The task re-activates on the next push.)
+func (f *FIFOAdd) Done() bool { return f.FIFO.Len() == 0 || f.added >= f.Total }
+
+// Complete reports whether all Total elements have been accumulated.
+func (f *FIFOAdd) Complete() bool { return f.added >= f.Total }
+
+// Step implements Instr.
+func (f *FIFOAdd) Step(c *Core, lanes int) int {
+	used := 0
+	for used < lanes && f.added < f.Total && f.FIFO.Len() > 0 {
+		v, _ := f.FIFO.Pop(f.Arena)
+		p := f.Acc.Next()
+		f.Arena.Set(p, fp16.Add(f.Arena.At(p), v))
+		f.added++
+		used++
+	}
+	return used
+}
+
+// --------------------------------------------------------------- SendMem
+
+// SendMem streams a memory vector out on a fabric color, two fp16
+// elements per 32-bit word, one word per cycle across the ramp — the
+// c_tx[] = v1[] send thread. It consumes no datapath lanes.
+type SendMem struct {
+	Color fabric.Color
+	Src   tensor.Descriptor
+	Arena *tensor.Arena
+	Total int // elements; if odd, the final word is zero-padded
+
+	sent     int
+	pending  bool
+	pendingN int
+	word     fabric.Word
+}
+
+// Done implements Instr.
+func (s *SendMem) Done() bool { return s.sent >= s.Total && !s.pending }
+
+// Step implements Instr.
+func (s *SendMem) Step(c *Core, lanes int) int {
+	if !s.pending {
+		if s.sent >= s.Total {
+			return 0
+		}
+		lo := s.Arena.At(s.Src.Next())
+		hi := fp16.Zero
+		s.pendingN = 1
+		if s.sent+1 < s.Total {
+			hi = s.Arena.At(s.Src.Next())
+			s.pendingN = 2
+		}
+		s.word = fabric.PackF16(s.Color, lo, hi)
+		s.pending = true
+	}
+	if c.Send(s.word) {
+		s.sent += s.pendingN
+		s.pending = false
+	}
+	return 0
+}
+
+// --------------------------------------------------------------- DotMixed
+
+// DotMixed computes the mixed-precision inner product of two memory
+// vectors with the hardware inner-product instruction: exact fp16
+// products, float32 accumulation, two FMACs per cycle — so each element
+// costs two lanes.
+type DotMixed struct {
+	A, B  tensor.Descriptor
+	Arena *tensor.Arena
+	Out   *float32
+	acc   float32
+	began bool
+}
+
+// Done implements Instr.
+func (d *DotMixed) Done() bool { return d.began && d.A.Done() }
+
+// Step implements Instr.
+func (d *DotMixed) Step(c *Core, lanes int) int {
+	d.began = true
+	used := 0
+	for used+2 <= lanes && !d.A.Done() {
+		d.acc = fp16.MixedFMAC(d.acc, d.Arena.At(d.A.Next()), d.Arena.At(d.B.Next()))
+		used += 2
+	}
+	if d.A.Done() && d.Out != nil {
+		*d.Out = d.acc
+	}
+	return used
+}
+
+// --------------------------------------------------------------- ScalarSend
+
+// ScalarSend emits one float32 word on a color (used by the AllReduce
+// reduction paths).
+type ScalarSend struct {
+	Color fabric.Color
+	Value func() float32 // evaluated at send time
+	sent  bool
+}
+
+// Done implements Instr.
+func (s *ScalarSend) Done() bool { return s.sent }
+
+// Step implements Instr.
+func (s *ScalarSend) Step(c *Core, lanes int) int {
+	if s.sent {
+		return 0
+	}
+	if c.Send(fabric.WordF32(s.Color, s.Value())) {
+		s.sent = true
+	}
+	return 0
+}
+
+// --------------------------------------------------------------- helpers
+
+// Float32FromBits mirrors math.Float32frombits for kernel code that
+// manipulates raw words.
+func Float32FromBits(b uint32) float32 { return math.Float32frombits(b) }

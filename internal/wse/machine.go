@@ -1,0 +1,180 @@
+// Package wse models the CS-1 wafer-scale engine at the level the paper
+// programs it: a fabric of tiles, each holding one core with 48 KB of
+// private SRAM, a router, and a hardware task scheduler. The core model
+// implements the paper's execution primitives:
+//
+//   - tasks that react to events, with block/unblock/activate scheduling
+//     state manipulated by other tasks and by thread completions;
+//   - up to nine background threads, each running a single vector
+//     instruction asynchronously, sharing the SIMD-4 fp16 datapath;
+//   - hardware-managed in-memory FIFOs that activate tasks on push;
+//   - tensor descriptors (package tensor) tracking instruction progress;
+//   - fabric streams as instruction operands (packages fabric).
+//
+// Timing model: each core issues datapath work every cycle — up to
+// SIMDWidth fp16 lanes, shared round-robin among the running task's
+// current instruction and all runnable threads; mixed-precision FMAC ops
+// cost two lanes per element ("the throughput is two FMACs per core per
+// cycle"); one word per cycle crosses the ramp in each direction.
+package wse
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/tensor"
+)
+
+// Config describes a simulated wafer.
+type Config struct {
+	// FabricW, FabricH size the tile array. The CS-1 in the paper exposes
+	// a 602×595 compute fabric.
+	FabricW, FabricH int
+	// ClockHz is the core clock. The paper does not state it; 1.1 GHz
+	// makes the measured 0.86 PFLOPS "about one third" of peak
+	// (DESIGN.md §6). All wall-clock conversions use this value.
+	ClockHz float64
+	// MemPerTile is the per-core SRAM budget in bytes (48 KB on CS-1).
+	MemPerTile int
+	// SIMDWidth is the number of fp16 datapath lanes (4 on CS-1).
+	SIMDWidth int
+	// QueueDepth / RxDepth size the fabric queues.
+	QueueDepth, RxDepth int
+	// PowerKW is the system power (20 kW), used for perf/W reporting.
+	PowerKW float64
+}
+
+// CS1 returns the configuration of the machine in the paper, with the
+// fabric dimensions overridden to w×h (the full 602×595 wafer is too large
+// to cycle-simulate; perfmodel extrapolates from smaller fabrics).
+func CS1(w, h int) Config {
+	return Config{
+		FabricW: w, FabricH: h,
+		ClockHz:    1.1e9,
+		MemPerTile: 48 * 1024,
+		SIMDWidth:  4,
+		PowerKW:    20,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.ClockHz == 0 {
+		c.ClockHz = 1.1e9
+	}
+	if c.MemPerTile == 0 {
+		c.MemPerTile = 48 * 1024
+	}
+	if c.SIMDWidth == 0 {
+		c.SIMDWidth = 4
+	}
+	return c
+}
+
+// Cores returns the number of cores on the fabric.
+func (c Config) Cores() int { return c.FabricW * c.FabricH }
+
+// PeakFlops returns the machine's peak fp16 rate: SIMDWidth fused
+// multiply-accumulates (2 flops each) per core per cycle.
+func (c Config) PeakFlops() float64 {
+	return float64(c.Cores()) * float64(2*c.SIMDWidth) * c.ClockHz
+}
+
+// Tile is one repeated element of the wafer: a core plus its memory. The
+// router lives in the shared Fabric.
+type Tile struct {
+	Coord fabric.Coord
+	Arena *tensor.Arena
+	Core  *Core
+}
+
+// Machine is a simulated wafer.
+type Machine struct {
+	Cfg   Config
+	Fab   *fabric.Fabric
+	Tiles []*Tile
+}
+
+// New builds a machine.
+func New(cfg Config) *Machine {
+	cfg = cfg.withDefaults()
+	m := &Machine{
+		Cfg: cfg,
+		Fab: fabric.New(fabric.Config{
+			W: cfg.FabricW, H: cfg.FabricH,
+			QueueDepth: cfg.QueueDepth, RxDepth: cfg.RxDepth,
+		}),
+	}
+	m.Tiles = make([]*Tile, cfg.Cores())
+	for i := range m.Tiles {
+		at := m.Fab.CoordOf(i)
+		t := &Tile{
+			Coord: at,
+			Arena: tensor.NewArena(cfg.MemPerTile),
+		}
+		t.Core = newCore(m, t)
+		m.Tiles[i] = t
+	}
+	return m
+}
+
+// TileAt returns the tile at coordinate c.
+func (m *Machine) TileAt(c fabric.Coord) *Tile { return m.Tiles[m.Fab.Index(c)] }
+
+// Step advances the whole machine one cycle: cores issue work, then the
+// fabric moves words one hop.
+func (m *Machine) Step() {
+	for _, t := range m.Tiles {
+		t.Core.step()
+	}
+	m.Fab.Step()
+}
+
+// Cycle returns the current cycle count.
+func (m *Machine) Cycle() int64 { return m.Fab.Cycle() }
+
+// Seconds converts a cycle count to wall-clock seconds at the configured
+// clock rate.
+func (m *Machine) Seconds(cycles int64) float64 { return float64(cycles) / m.Cfg.ClockHz }
+
+// RunUntil steps until done() is true, returning the cycles elapsed. It
+// fails if maxCycles elapse first or if the machine wedges (no core
+// progress and no fabric movement for an extended window).
+func (m *Machine) RunUntil(done func() bool, maxCycles int64) (int64, error) {
+	start := m.Cycle()
+	idle := 0
+	idleLimit := m.Cfg.FabricW + m.Cfg.FabricH + 64
+	for !done() {
+		if m.Cycle()-start >= maxCycles {
+			return m.Cycle() - start, fmt.Errorf("wse: exceeded %d cycles", maxCycles)
+		}
+		movesBefore := m.Fab.Moves()
+		busy := false
+		for _, t := range m.Tiles {
+			if t.Core.busy() {
+				busy = true
+				break
+			}
+		}
+		m.Step()
+		if m.Fab.Moves() == movesBefore && !busy {
+			idle++
+			if idle > idleLimit {
+				return m.Cycle() - start, fmt.Errorf("wse: machine wedged (no progress for %d cycles)", idle)
+			}
+		} else {
+			idle = 0
+		}
+	}
+	return m.Cycle() - start, nil
+}
+
+// AllIdle reports whether every core has no runnable work and the fabric
+// is quiescent.
+func (m *Machine) AllIdle() bool {
+	for _, t := range m.Tiles {
+		if t.Core.busy() {
+			return false
+		}
+	}
+	return m.Fab.Quiescent()
+}

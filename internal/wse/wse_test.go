@@ -1,0 +1,225 @@
+package wse
+
+import (
+	"testing"
+
+	"repro/internal/fp16"
+	"repro/internal/tensor"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	m := New(Config{FabricW: 2, FabricH: 2})
+	if m.Cfg.ClockHz != 1.1e9 || m.Cfg.MemPerTile != 48*1024 || m.Cfg.SIMDWidth != 4 {
+		t.Errorf("defaults not applied: %+v", m.Cfg)
+	}
+	if got := CS1(602, 595).PeakFlops(); got < 3.0e15 || got > 3.3e15 {
+		t.Errorf("CS-1 peak = %g, expected ~3.15 PFLOPS", got)
+	}
+}
+
+func TestTaskSchedulingStates(t *testing.T) {
+	m := New(CS1(1, 1))
+	c := m.Tiles[0].Core
+	var order []string
+
+	low := c.AddTask(&Task{Name: "low"})
+	low.OnComplete = func(cc *Core) { order = append(order, "low") }
+	hi := c.AddTask(&Task{Name: "hi", Priority: true})
+	hi.OnComplete = func(cc *Core) { order = append(order, "hi") }
+	blocked := c.AddTask(&Task{Name: "blocked"})
+	blocked.OnComplete = func(cc *Core) { order = append(order, "blocked") }
+
+	c.Activate(low)
+	c.Activate(hi)
+	c.Activate(blocked)
+	c.Block(blocked)
+
+	for i := 0; i < 5; i++ {
+		m.Step()
+	}
+	if len(order) != 2 || order[0] != "hi" || order[1] != "low" {
+		t.Fatalf("scheduling order = %v, want [hi low]", order)
+	}
+	// Unblocking releases the pending activation.
+	c.Unblock(blocked)
+	for i := 0; i < 3; i++ {
+		m.Step()
+	}
+	if len(order) != 3 || order[2] != "blocked" {
+		t.Fatalf("blocked task did not run after unblock: %v", order)
+	}
+}
+
+func TestMemOpKinds(t *testing.T) {
+	m := New(CS1(1, 1))
+	tl := m.Tiles[0]
+	a := tl.Arena
+	n := 8
+	xb := a.MustAlloc("x", n)
+	yb := a.MustAlloc("y", n)
+	db := a.MustAlloc("d", n)
+	for i := 0; i < n; i++ {
+		a.Set(xb+i, fp16.FromFloat64(float64(i+1)))
+		a.Set(yb+i, fp16.FromFloat64(2))
+	}
+	runOp := func(op *MemOp) {
+		task := &Task{Name: "t", Instrs: []Instr{op}}
+		done := false
+		task.OnComplete = func(c *Core) { done = true }
+		tl.Core.AddTask(task)
+		tl.Core.Activate(task)
+		if _, err := m.RunUntil(func() bool { return done }, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runOp(&MemOp{Kind: OpFMA, Arena: a, S: fp16.FromFloat64(3),
+		Dst: tensor.Vec1D(db, n), A: tensor.Vec1D(xb, n), B: tensor.Vec1D(yb, n)})
+	for i := 0; i < n; i++ {
+		if got, want := a.At(db+i).Float64(), 3*float64(i+1)+2; got != want {
+			t.Fatalf("OpFMA[%d] = %g, want %g", i, got, want)
+		}
+	}
+	runOp(&MemOp{Kind: OpXPAY, Arena: a, S: fp16.FromFloat64(0.5),
+		Dst: tensor.Vec1D(db, n), A: tensor.Vec1D(xb, n)})
+	for i := 0; i < n; i++ {
+		want := float64(i+1) + 0.5*(3*float64(i+1)+2)
+		if got := a.At(db + i).Float64(); got != want {
+			t.Fatalf("OpXPAY[%d] = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestDotMixedInstr(t *testing.T) {
+	m := New(CS1(1, 1))
+	tl := m.Tiles[0]
+	a := tl.Arena
+	n := 64
+	xb := a.MustAlloc("x", n)
+	for i := 0; i < n; i++ {
+		a.Set(xb+i, fp16.FromFloat64(0.25))
+	}
+	var out float32
+	d := &DotMixed{A: tensor.Vec1D(xb, n), B: tensor.Vec1D(xb, n), Arena: a, Out: &out}
+	task := &Task{Name: "dot", Instrs: []Instr{d}}
+	done := false
+	task.OnComplete = func(c *Core) { done = true }
+	tl.Core.AddTask(task)
+	tl.Core.Activate(task)
+	cycles, err := m.RunUntil(func() bool { return done }, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != 4 { // 64 * 0.0625
+		t.Errorf("dot = %g, want 4", out)
+	}
+	// Two FMACs per cycle: 64 elements should take ~32 cycles + task start.
+	if cycles < 32 || cycles > 40 {
+		t.Errorf("dot took %d cycles, expected ~32 (2 FMAC/cycle)", cycles)
+	}
+}
+
+func TestDatapathSharing(t *testing.T) {
+	// Two concurrent threads each running a 64-element SIMD op share the
+	// 4-lane datapath: together they need ~2× the cycles of one.
+	m := New(CS1(1, 1))
+	tl := m.Tiles[0]
+	a := tl.Arena
+	n := 64
+	xb := a.MustAlloc("x", n)
+	d1 := a.MustAlloc("d1", n)
+	d2 := a.MustAlloc("d2", n)
+	for i := 0; i < n; i++ {
+		a.Set(xb+i, fp16.One)
+	}
+	mk := func(dst int) *MemOp {
+		return &MemOp{Kind: OpCopy, Arena: a, Dst: tensor.Vec1D(dst, n), A: tensor.Vec1D(xb, n)}
+	}
+	single := func() int64 {
+		mm := New(CS1(1, 1))
+		aa := mm.Tiles[0].Arena
+		x := aa.MustAlloc("x", n)
+		d := aa.MustAlloc("d", n)
+		op := &MemOp{Kind: OpCopy, Arena: aa, Dst: tensor.Vec1D(d, n), A: tensor.Vec1D(x, n)}
+		mm.Tiles[0].Core.LaunchThread(0, "t", op, nil)
+		c, err := mm.RunUntil(op.Done, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}()
+	op1, op2 := mk(d1), mk(d2)
+	tl.Core.LaunchThread(0, "t1", op1, nil)
+	tl.Core.LaunchThread(1, "t2", op2, nil)
+	both, err := m.RunUntil(func() bool { return op1.Done() && op2.Done() }, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both < 2*single-4 || both > 2*single+8 {
+		t.Errorf("two threads took %d cycles, one takes %d: expected ~2×", both, single)
+	}
+}
+
+func TestThreadSlotConflictPanics(t *testing.T) {
+	m := New(CS1(1, 1))
+	c := m.Tiles[0].Core
+	a := m.Tiles[0].Arena
+	base := a.MustAlloc("x", 4)
+	mk := func() *MemOp {
+		return &MemOp{Kind: OpCopy, Arena: a, Dst: tensor.Vec1D(base, 4), A: tensor.Vec1D(base, 4)}
+	}
+	c.LaunchThread(3, "a", mk(), nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on occupied thread slot")
+		}
+	}()
+	c.LaunchThread(3, "b", mk(), nil)
+}
+
+func TestSendMemAcrossFabric(t *testing.T) {
+	// One tile streams a vector to its neighbour via SendMem; a StreamBuf
+	// subscriber collects it: the building block of the SpMV broadcast.
+	m := New(CS1(2, 1))
+	src, dst := m.Tiles[0], m.Tiles[1]
+	n := 16
+	base := src.Arena.MustAlloc("v", n)
+	for i := 0; i < n; i++ {
+		src.Arena.Set(base+i, fp16.FromFloat64(float64(i)))
+	}
+	m.Fab.SetRoute(src.Coord, 4, 7, 1<<1) // Ramp in, East out, color 7
+	m.Fab.SetRoute(dst.Coord, 3, 7, 1<<4) // arrives West, to Ramp
+	buf := NewStreamBuf(8)
+	dst.Core.Subscribe(7, buf)
+
+	send := &SendMem{Color: 7, Src: tensor.Vec1D(base, n), Arena: src.Arena, Total: n}
+	src.Core.LaunchThread(0, "tx", send, nil)
+
+	acc := dst.Arena.MustAlloc("acc", n)
+	add := &StreamAdd{Src: StreamSource{B: buf}, Acc: tensor.Vec1D(acc, n), Arena: dst.Arena, Total: n}
+	dst.Core.LaunchThread(0, "rx", add, nil)
+
+	if _, err := m.RunUntil(func() bool { return send.Done() && add.Done() }, 10000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got := dst.Arena.At(acc + i).Float64(); got != float64(i) {
+			t.Fatalf("received[%d] = %g, want %d", i, got, i)
+		}
+	}
+}
+
+func TestUtilizationTracking(t *testing.T) {
+	m := New(CS1(1, 1))
+	c := m.Tiles[0].Core
+	a := m.Tiles[0].Arena
+	base := a.MustAlloc("x", 32)
+	op := &MemOp{Kind: OpCopy, Arena: a, Dst: tensor.Vec1D(base, 32), A: tensor.Vec1D(base, 32)}
+	c.LaunchThread(0, "t", op, nil)
+	if _, err := m.RunUntil(op.Done, 100); err != nil {
+		t.Fatal(err)
+	}
+	busy, lanes := c.Utilization()
+	if busy <= 0 || busy > 1 || lanes <= 0 || lanes > 4 {
+		t.Errorf("utilization out of range: busy %g lanes %g", busy, lanes)
+	}
+}
