@@ -6,12 +6,14 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 	"strconv"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/fp16"
 	"repro/internal/kernels"
 	"repro/internal/mfix"
@@ -20,6 +22,69 @@ import (
 	"repro/internal/stencil"
 	"repro/internal/wse"
 )
+
+// BenchmarkFabricStep measures one cycle of the router simulator at
+// saturation across fabric sizes, for the Sequential engine and the
+// Sharded engine at 8 workers. The sharded/seq ratio is the tentpole
+// speedup; it requires a multi-core host to materialize (on GOMAXPROCS=1
+// the engines tie, by way of the quiet-cycle fallback).
+func BenchmarkFabricStep(b *testing.B) {
+	sizes := []int{16, 32, 64, 128}
+	if testing.Short() {
+		sizes = []int{16, 32}
+	}
+	for _, size := range sizes {
+		for _, eng := range []struct {
+			name string
+			mk   func() fabric.Stepper
+		}{
+			{"seq", fabric.Sequential},
+			{"sharded", func() fabric.Stepper { return fabric.Sharded(8) }},
+		} {
+			b.Run(fmt.Sprintf("%s/%dx%d", eng.name, size, size), func(b *testing.B) {
+				f := fabric.New(fabric.Config{W: size, H: size, Stepper: eng.mk()})
+				fabric.BuildFlows(f)
+				for warm := 0; warm < 2*size; warm++ {
+					fabric.DriveFlows(f)
+				}
+				moves0 := f.Moves()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fabric.DriveFlows(f)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(f.Moves()-moves0)/float64(b.N), "words-moved/cycle")
+			})
+		}
+	}
+}
+
+// BenchmarkMachineStep measures a full machine cycle (cores + routers)
+// on an idle-task fabric, seq vs sharded — the path every wafer kernel
+// simulation pays per cycle.
+func BenchmarkMachineStep(b *testing.B) {
+	sizes := []int{32, 64}
+	if testing.Short() {
+		sizes = []int{32}
+	}
+	for _, size := range sizes {
+		for _, workers := range []int{0, 8} {
+			name := "seq"
+			if workers > 1 {
+				name = fmt.Sprintf("sharded-%d", workers)
+			}
+			b.Run(fmt.Sprintf("%s/%dx%d", name, size, size), func(b *testing.B) {
+				cfg := wse.CS1(size, size)
+				cfg.Workers = workers
+				mach := wse.New(cfg)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mach.Step()
+				}
+			})
+		}
+	}
+}
 
 // BenchmarkTable1_OperationCounts measures one mixed-precision BiCGStab
 // iteration and reports the Table I operation counts per meshpoint.

@@ -22,6 +22,7 @@ func main() {
 	iters := flag.Int("iters", 20, "max BiCGStab iterations")
 	tol := flag.Float64("tol", 1e-3, "relative residual tolerance")
 	problem := flag.String("problem", "momentum", "poisson|momentum|random")
+	workers := flag.Int("workers", 1, "simulation worker goroutines (>1 shards the fabric; results are bit-identical)")
 	flag.Parse()
 
 	m := stencil.Mesh{NX: *nx, NY: *ny, NZ: *nz}
@@ -41,7 +42,7 @@ func main() {
 	}
 	p, _ := core.NewProblem(op, xe)
 
-	res, err := core.Solve(p, core.Options{Backend: core.Wafer, MaxIter: *iters, Tol: *tol})
+	res, err := core.Solve(p, core.Options{Backend: core.Wafer, MaxIter: *iters, Tol: *tol, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"math/big"
 	"sync"
 
 	"repro/internal/stencil"
@@ -10,9 +11,23 @@ import (
 
 // ParallelBiCGStab runs the float64 BiCGStab solve SPMD-style over ranks
 // goroutine-ranks with 3D block decomposition, channel-based halo
-// exchange and an ordered (deterministic) allreduce — the communication
+// exchange and an exactly rounded allreduce — the communication
 // structure the Joule timing model charges for. It returns the solution
 // and the per-iteration relative residual history.
+//
+// Determinism contract: results are bit-identical across runs AND across
+// rank counts. Every inner product is computed as the exactly rounded
+// sum of its (correctly rounded) elementwise products — each rank
+// accumulates into a fixed-point-exact wide accumulator, the root
+// combines rank contributions exactly and rounds once to float64 — so
+// the value cannot depend on how the mesh was decomposed or how the
+// goroutines were scheduled. All remaining arithmetic is elementwise
+// with identical association at every decomposition. The rank-sweep
+// tests in parallel_test.go enforce the contract. One caveat: if a dot
+// encounters a non-finite product (an already-diverged solve), the
+// reduction degrades to the rank-ordered float64 sum of naive partials
+// — still deterministic for a fixed rank count, but the across-rank-
+// counts guarantee applies only while all products are finite.
 //
 // The operator must be unit-diagonal (call Normalize first), matching
 // the other backends.
@@ -140,12 +155,24 @@ func (g *grid) runRank(r int, bGlobal, xGlobal []float64, maxIter int, tol float
 			}
 		}
 	}
+	// Per-rank reusable exact accumulator and term scratch for dots.
+	acc := new(big.Float).SetPrec(exactPrec)
+	term := new(big.Float).SetPrec(53)
 	dot := func(a, bb []float64) float64 {
-		var sum float64
+		acc.SetInt64(0)
+		var naive float64
+		finite := true
 		for i := range a {
-			sum += a[i] * bb[i]
+			p := a[i] * bb[i]
+			naive += p
+			if finite && isFinite(p) {
+				term.SetFloat64(p)
+				acc.Add(acc, term)
+			} else {
+				finite = false
+			}
 		}
-		return g.reducer.allreduce(r, sum)
+		return g.reducer.allreduce(r, acc, naive, finite)
 	}
 
 	// r0 = r = p = b (zero initial guess).
@@ -323,39 +350,76 @@ func (g *grid) neighbor(src []float64, h *haloBufs, li func(x, y, z int) int, x,
 	}
 }
 
-// reducer implements a deterministic allreduce: partials are summed in
-// rank order regardless of arrival order, so results are bit-identical
-// across runs and independent of goroutine scheduling.
+// exactPrec sizes the wide accumulators of the exact allreduce: the
+// full fixed-point span of float64 (2^-1074 through 2^1023) is about
+// 2098 bits, plus headroom for the carry growth of up to 2^20 summands.
+// With this precision, adding any finite float64 into the accumulator
+// is exact — no rounding ever occurs until the final conversion back to
+// float64, so the sum is independent of summation order and therefore
+// of the mesh decomposition.
+const exactPrec = 2304
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// reducer implements a deterministic allreduce. Each rank contributes
+// the exact wide-precision sum of its local products; the root adds the
+// rank contributions (again exactly) and rounds once to float64. If any
+// rank saw a non-finite product, the reduction degrades to the
+// rank-ordered float64 sum of the naive partials, which still
+// propagates Inf/NaN deterministically.
 type reducer struct {
-	ranks int
-	mu    sync.Mutex
-	vals  []float64
-	got   int
-	out   []chan float64
+	ranks  int
+	mu     sync.Mutex
+	vals   []*big.Float
+	naive  []float64
+	finite bool
+	got    int
+	sum    *big.Float // root scratch
+	out    []chan float64
 }
 
 func newReducer(ranks int) *reducer {
-	r := &reducer{ranks: ranks, vals: make([]float64, ranks), out: make([]chan float64, ranks)}
+	r := &reducer{
+		ranks:  ranks,
+		vals:   make([]*big.Float, ranks),
+		naive:  make([]float64, ranks),
+		finite: true,
+		sum:    new(big.Float).SetPrec(exactPrec),
+		out:    make([]chan float64, ranks),
+	}
 	for i := range r.out {
 		r.out[i] = make(chan float64, 1)
 	}
 	return r
 }
 
-// allreduce contributes rank r's partial and returns the ordered global
-// sum; all ranks block until every contribution arrived.
-func (r *reducer) allreduce(rank int, v float64) float64 {
+// allreduce contributes rank r's partial and returns the exactly
+// rounded global sum; all ranks block until every contribution arrived.
+// The caller's accumulator is read only before the caller unblocks, so
+// reusing it for the next dot is safe.
+func (r *reducer) allreduce(rank int, v *big.Float, naive float64, finite bool) float64 {
 	r.mu.Lock()
 	r.vals[rank] = v
+	r.naive[rank] = naive
+	r.finite = r.finite && finite
 	r.got++
 	if r.got == r.ranks {
-		var sum float64
-		for _, x := range r.vals {
-			sum += x
+		var out float64
+		if r.finite {
+			r.sum.SetInt64(0)
+			for _, x := range r.vals {
+				r.sum.Add(r.sum, x)
+			}
+			out, _ = r.sum.Float64()
+		} else {
+			for _, x := range r.naive {
+				out += x
+			}
 		}
 		r.got = 0
+		r.finite = true
 		for _, ch := range r.out {
-			ch <- sum
+			ch <- out
 		}
 	}
 	r.mu.Unlock()

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stencil"
+)
+
+// TestParallelBiCGStabRankSweep is the determinism contract of the
+// ordered reducer: the rank-parallel solve must produce bit-identical
+// residual histories and solutions at every rank count, because partial
+// dot products are summed in rank order regardless of goroutine
+// scheduling. Run under -race this also exercises the halo-exchange and
+// reduction plumbing at each decomposition.
+func TestParallelBiCGStabRankSweep(t *testing.T) {
+	m := stencil.Mesh{NX: 8, NY: 8, NZ: 8}
+	norm, _ := stencil.ConvectionDiffusion(m, 0.2, [3]float64{1, -0.3, 0.2}, 0.25).Normalize()
+	rng := rand.New(rand.NewSource(17))
+	b := make([]float64, m.N())
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+
+	type result struct {
+		x    []float64
+		hist []float64
+	}
+	results := map[int]result{}
+	for _, ranks := range []int{1, 2, 4, 8} {
+		x, hist, err := ParallelBiCGStab(norm, b, ranks, 25, 0)
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if len(hist) == 0 {
+			t.Fatalf("ranks=%d: empty residual history", ranks)
+		}
+		results[ranks] = result{x, hist}
+	}
+
+	ref := results[1]
+	for _, ranks := range []int{2, 4, 8} {
+		got := results[ranks]
+		if len(got.hist) != len(ref.hist) {
+			t.Fatalf("ranks=%d: %d residuals, ranks=1 has %d", ranks, len(got.hist), len(ref.hist))
+		}
+		for i := range ref.hist {
+			if got.hist[i] != ref.hist[i] {
+				t.Errorf("ranks=%d: residual %d = %.17g, ranks=1 has %.17g", ranks, i, got.hist[i], ref.hist[i])
+			}
+		}
+		for i := range ref.x {
+			if got.x[i] != ref.x[i] {
+				t.Fatalf("ranks=%d: x[%d] = %.17g, ranks=1 has %.17g", ranks, i, got.x[i], ref.x[i])
+			}
+		}
+	}
+}
+
+// TestParallelBiCGStabRepeatDeterministic re-runs the same decomposition
+// several times: goroutine scheduling varies, results must not.
+func TestParallelBiCGStabRepeatDeterministic(t *testing.T) {
+	m := stencil.Mesh{NX: 8, NY: 8, NZ: 8}
+	norm, _ := stencil.ConvectionDiffusion(m, 0.15, [3]float64{0.7, 0.1, -0.4}, 0.3).Normalize()
+	rng := rand.New(rand.NewSource(23))
+	b := make([]float64, m.N())
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	for _, ranks := range []int{4, 8} {
+		t.Run(fmt.Sprintf("ranks=%d", ranks), func(t *testing.T) {
+			_, ref, err := ParallelBiCGStab(norm, b, ranks, 15, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := 0; rep < 3; rep++ {
+				_, hist, err := ParallelBiCGStab(norm, b, ranks, 15, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range ref {
+					if hist[i] != ref[i] {
+						t.Fatalf("rep %d: residual %d = %.17g, first run had %.17g", rep, i, hist[i], ref[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -86,6 +86,10 @@ type Options struct {
 	MaxIter   int
 	Tol       float64
 	Ranks     int // Cluster backend: number of goroutine-ranks
+	// Workers selects the Wafer backend's simulation engine: <= 1 steps
+	// the machine sequentially, > 1 shards the tile grid across that
+	// many goroutines. Simulated results are bit-identical either way.
+	Workers int
 }
 
 // Result reports a solve.
@@ -134,7 +138,9 @@ func Solve(p Problem, o Options) (Result, error) {
 
 	case Wafer:
 		m := norm.M
-		mach := wse.New(wse.CS1(m.NX, m.NY))
+		cfg := wse.CS1(m.NX, m.NY)
+		cfg.Workers = o.Workers
+		mach := wse.New(cfg)
 		w, err := kernels.NewBiCGStabWSE(mach, stencil.NewOp7Half(norm))
 		if err != nil {
 			return res, err

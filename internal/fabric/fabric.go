@@ -15,6 +15,18 @@
 // Words are 32-bit, carrying either one float32 or two fp16 elements, which
 // matches the injection/extraction granularity the paper's AllReduce
 // analysis uses ("a core … can receive only one [word] from the fabric").
+//
+// # Stepping engines and determinism
+//
+// A Fabric is advanced by a Stepper (see stepper.go): Sequential steps
+// every router on one goroutine, Sharded(workers) partitions the tile
+// grid into contiguous shards stepped concurrently with a two-phase
+// claim/commit barrier per cycle. The two engines are bit-identical —
+// same queue contents, same occupancies, same Moves counter, cycle for
+// cycle — because a cycle's routing decisions depend only on pre-cycle
+// state and each queue is touched by exactly one shard during commit.
+// Host code may therefore select an engine purely on fabric size without
+// changing any simulated result.
 package fabric
 
 import (
@@ -142,6 +154,9 @@ func (q *queue) push(w uint32) bool {
 
 func (q *queue) peek() uint32 { return q.buf[q.head] }
 
+// at returns the k-th queued word without popping (0 is the head).
+func (q *queue) at(k int) uint32 { return q.buf[(q.head+k)%len(q.buf)] }
+
 func (q *queue) pop() uint32 {
 	w := q.buf[q.head]
 	q.head = (q.head + 1) % len(q.buf)
@@ -170,6 +185,9 @@ type Config struct {
 	QueueDepth int
 	// RxDepth is the per-color core receive buffer capacity.
 	RxDepth int
+	// Stepper selects the stepping engine; nil means Sequential(). The
+	// instance is bound to this fabric and must not be reused.
+	Stepper Stepper
 }
 
 func (c Config) withDefaults() Config {
@@ -192,13 +210,13 @@ type Fabric struct {
 
 	cycle int64
 	moves int64
-	// activity tracking: tiles whose router might have movable words
-	hot     []bool
-	hotList []int
+	// activity tracking: tiles whose router might have movable words,
+	// listed per shard so each engine shard owns its list exclusively.
+	hot      []bool
+	hotLists [][]int
+	shardOf  []uint16
 
-	// pending transfers staged within a Step
-	stagedPop  []stagedPop
-	stagedPush []stagedPush
+	stepper Stepper
 }
 
 type stagedPop struct {
@@ -224,8 +242,22 @@ func New(cfg Config) *Fabric {
 		rx:      make([][MaxColors]*queue, cfg.W*cfg.H),
 		hot:     make([]bool, cfg.W*cfg.H),
 	}
+	if cfg.Stepper == nil {
+		cfg.Stepper = Sequential()
+	}
+	f.stepper = cfg.Stepper
+	f.stepper.bind(f)
 	return f
 }
+
+// StepperName reports the name of the bound stepping engine.
+func (f *Fabric) StepperName() string { return f.stepper.Name() }
+
+// ShardRanges returns the engine's tile partition as [lo, hi) index
+// ranges. Callers that step per-tile actors concurrently (wse.Machine)
+// use the same partition so all tile-local fabric access stays
+// shard-owned.
+func (f *Fabric) ShardRanges() [][2]int { return f.stepper.shards() }
 
 // Index returns the tile index of c.
 func (f *Fabric) Index(c Coord) int { return c.Y*f.W + c.X }
@@ -311,7 +343,8 @@ func (f *Fabric) rxQueue(tile int, c Color) *queue {
 func (f *Fabric) markHot(tile int) {
 	if !f.hot[tile] {
 		f.hot[tile] = true
-		f.hotList = append(f.hotList, tile)
+		s := f.shardOf[tile]
+		f.hotLists[s] = append(f.hotLists[s], tile)
 	}
 }
 
@@ -319,116 +352,66 @@ func (f *Fabric) markHot(tile int) {
 // of its input queues toward its configured outputs, subject to one word
 // per output link per cycle and space in the destination queue. Transfers
 // are claimed against the pre-cycle state and committed together, so a
-// word moves at most one hop per cycle.
+// word moves at most one hop per cycle. The work runs on the configured
+// Stepper; see the package comment for the determinism contract.
 func (f *Fabric) Step() {
 	f.cycle++
-	f.stagedPop = f.stagedPop[:0]
-	f.stagedPush = f.stagedPush[:0]
+	f.stepper.step(f)
+}
 
-	// Claim phase. outClaimed tracks per-tile output-link usage this cycle.
-	current := f.hotList
-	f.hotList = f.hotList[:0]
-	stillHot := make([]int, 0, len(current))
+// RouterQueueLen returns the occupancy of the (in, color) input queue of
+// tile at's router, for tests asserting engine equivalence.
+func (f *Fabric) RouterQueueLen(at Coord, in Port, c Color) int {
+	q := f.routers[f.Index(at)].queues[in][c]
+	if q == nil {
+		return 0
+	}
+	return q.len()
+}
 
-	for _, ti := range current {
-		f.hot[ti] = false
-		r := &f.routers[ti]
-		at := f.CoordOf(ti)
-		var outClaimed PortMask
-		hasWords := false
-
-		n := len(r.active)
-		if n == 0 {
-			continue
-		}
-		start := r.rr[0] % n
-		for k := 0; k < n; k++ {
-			ic := r.active[(start+k)%n]
-			in, c := Port(ic[0]), Color(ic[1])
-			q := r.queues[in][c]
-			if q == nil || q.empty() {
-				continue
-			}
-			hasWords = true
-			outs := r.routes[in][c]
-			if outs == 0 {
-				panic(fmt.Sprintf("fabric: word on unrouted (%v,%d) at %v", in, c, at))
-			}
-			// All-or-nothing multicast: every target link must be free and
-			// every destination queue must have space.
-			ok := true
-			for p := Port(0); p < NumPorts && ok; p++ {
-				if !outs.Has(p) {
-					continue
-				}
-				if outClaimed.Has(p) {
-					ok = false
-					break
-				}
-				if p == Ramp {
-					if f.rxQueue(ti, c).full() {
-						ok = false
-					}
-					continue
-				}
-				dx, dy := p.Delta()
-				nb := Coord{at.X + dx, at.Y + dy}
-				if !f.In(nb) {
-					// Configured route off the fabric edge: drop target.
-					// The paper's patterns never do this; flag loudly.
-					panic(fmt.Sprintf("fabric: route off edge at %v port %v", at, p))
-				}
-				nq := f.routers[f.Index(nb)].queues[p.Opposite()][c]
-				if nq == nil {
-					panic(fmt.Sprintf("fabric: no route configured at %v for arrivals on (%v,%d)", nb, p.Opposite(), c))
-				}
-				if nq.full() {
-					ok = false
-				}
-			}
-			if !ok {
-				continue
-			}
-			bits := q.peek()
-			f.stagedPop = append(f.stagedPop, stagedPop{ti, in, c})
-			for p := Port(0); p < NumPorts; p++ {
-				if !outs.Has(p) {
-					continue
-				}
-				outClaimed |= 1 << p
-				if p == Ramp {
-					f.stagedPush = append(f.stagedPush, stagedPush{tile: -1, c: c, bits: bits, rxOf: ti})
-				} else {
-					dx, dy := p.Delta()
-					nb := f.Index(Coord{at.X + dx, at.Y + dy})
-					f.stagedPush = append(f.stagedPush, stagedPush{tile: nb, in: p.Opposite(), c: c, bits: bits})
-				}
-			}
-		}
-		r.rr[0]++
-		if hasWords {
-			stillHot = append(stillHot, ti)
+// Fingerprint hashes the complete architectural state — cycle and move
+// counters, every router input queue's contents and arbitration
+// rotation, and every core receive buffer — with FNV-1a. Two fabrics
+// that evolved identically have equal fingerprints each cycle; the
+// equivalence tests compare engines through this.
+func (f *Fabric) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
 		}
 	}
-
-	// Commit phase.
-	for _, sp := range f.stagedPop {
-		f.routers[sp.tile].queues[sp.in][sp.c].pop()
-		f.moves++
-	}
-	for _, sh := range f.stagedPush {
-		if sh.tile < 0 {
-			f.rxQueue(sh.rxOf, sh.c).push(sh.bits)
-			continue
+	mixQueue := func(tag uint64, q *queue) {
+		if q == nil || q.empty() {
+			return
 		}
-		if !f.routers[sh.tile].queues[sh.in][sh.c].push(sh.bits) {
-			panic("fabric: committed push overflowed (claim phase bug)")
+		mix(tag)
+		mix(uint64(q.len()))
+		for k := 0; k < q.len(); k++ {
+			mix(uint64(q.at(k)))
 		}
-		f.markHot(sh.tile)
 	}
-	for _, ti := range stillHot {
-		f.markHot(ti)
+	mix(uint64(f.cycle))
+	mix(uint64(f.moves))
+	for i := range f.routers {
+		r := &f.routers[i]
+		mix(uint64(r.rr[0]))
+		for in := Port(0); in < NumPorts; in++ {
+			for c := 0; c < MaxColors; c++ {
+				mixQueue(uint64(i)<<16|uint64(in)<<8|uint64(c), r.queues[in][c])
+			}
+		}
+		for c := 0; c < MaxColors; c++ {
+			mixQueue(uint64(i)<<16|uint64(NumPorts)<<8|uint64(c), f.rx[i][c])
+		}
 	}
+	return h
 }
 
 // Quiescent reports whether no words remain anywhere in the fabric

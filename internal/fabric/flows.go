@@ -1,0 +1,54 @@
+package fabric
+
+// This file provides a canonical saturating traffic pattern shared by
+// the stepping-engine benchmarks (bench_test.go at the repo root), the
+// examples/scaling study and the engine equivalence tests, so all three
+// measure and check the same workload.
+
+// BuildPath routes color c from src for hops links in direction out,
+// delivering to the final tile's core ramp.
+func BuildPath(f *Fabric, src Coord, out Port, hops int, c Color) {
+	f.SetRoute(src, Ramp, c, Mask(out))
+	dx, dy := out.Delta()
+	at := src
+	for k := 1; k < hops; k++ {
+		at = Coord{X: at.X + dx, Y: at.Y + dy}
+		f.SetRoute(at, out.Opposite(), c, Mask(out))
+	}
+	at = Coord{X: at.X + dx, Y: at.Y + dy}
+	f.SetRoute(at, out.Opposite(), c, Mask(Ramp))
+}
+
+// BuildFlows configures four directional flows spanning the fabric —
+// color 0 east along every row, color 1 west, color 2 south along
+// every column, color 3 north — so that at steady state every router
+// moves words on all four mesh links each cycle.
+func BuildFlows(f *Fabric) {
+	for y := 0; y < f.H; y++ {
+		BuildPath(f, Coord{X: 0, Y: y}, East, f.W-1, 0)
+		BuildPath(f, Coord{X: f.W - 1, Y: y}, West, f.W-1, 1)
+	}
+	for x := 0; x < f.W; x++ {
+		BuildPath(f, Coord{X: x, Y: 0}, South, f.H-1, 2)
+		BuildPath(f, Coord{X: x, Y: f.H - 1}, North, f.H-1, 3)
+	}
+}
+
+// DriveFlows injects one word at every BuildFlows source, drains every
+// sink, and steps one cycle, keeping the fabric saturated at an
+// injection/drain cost of O(W+H) per cycle.
+func DriveFlows(f *Fabric) {
+	for y := 0; y < f.H; y++ {
+		f.Send(Coord{X: 0, Y: y}, Word{Color: 0, Bits: uint32(y)})
+		f.Send(Coord{X: f.W - 1, Y: y}, Word{Color: 1, Bits: uint32(y)})
+		f.Recv(Coord{X: f.W - 1, Y: y}, 0)
+		f.Recv(Coord{X: 0, Y: y}, 1)
+	}
+	for x := 0; x < f.W; x++ {
+		f.Send(Coord{X: x, Y: 0}, Word{Color: 2, Bits: uint32(x)})
+		f.Send(Coord{X: x, Y: f.H - 1}, Word{Color: 3, Bits: uint32(x)})
+		f.Recv(Coord{X: x, Y: f.H - 1}, 2)
+		f.Recv(Coord{X: x, Y: 0}, 3)
+	}
+	f.Step()
+}

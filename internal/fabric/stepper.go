@@ -1,0 +1,308 @@
+package fabric
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Stepper is the engine that advances a Fabric by one cycle. Two
+// implementations exist: Sequential steps every router on the calling
+// goroutine; Sharded partitions the tile grid into contiguous shards and
+// steps them on a worker pool with a two-phase (claim-then-commit)
+// barrier per cycle.
+//
+// Determinism contract: both engines produce bit-identical architectural
+// state, cycle for cycle — the same router queue contents and
+// occupancies, the same core receive buffers, the same Moves counter.
+// This holds because the claim phase reads only pre-cycle queue state
+// (it mutates nothing another shard can observe), each queue receives at
+// most one push and one pop per cycle, and every queue is committed by
+// the shard that owns its tile, pops before pushes — exactly the order
+// of the sequential engine. The equivalence golden test in equiv_test.go
+// enforces the contract against state fingerprints every cycle.
+//
+// A Stepper instance is bound to the first Fabric it is given and must
+// not be shared between fabrics.
+type Stepper interface {
+	// Name identifies the engine, e.g. for benchmark sub-names.
+	Name() string
+
+	bind(f *Fabric)
+	step(f *Fabric)
+	shards() [][2]int
+}
+
+// Sequential returns the single-goroutine stepping engine. It is the
+// default when Config.Stepper is nil.
+func Sequential() Stepper { return &engine{workers: 1} }
+
+// Sharded returns a stepping engine that partitions the tile grid into
+// up to `workers` contiguous shards and steps them concurrently. Cycles
+// with little in-flight traffic fall back to inline stepping, so the
+// sharded engine is never pathologically slower than Sequential on a
+// quiet fabric. workers < 1 is treated as 1.
+func Sharded(workers int) Stepper { return &engine{workers: workers} }
+
+// parallelHotPerShard is the minimum average hot-tile count per shard
+// below which a cycle is stepped inline instead of on the worker pool
+// (the state evolution is identical either way; only wall-clock
+// differs).
+const parallelHotPerShard = 24
+
+// engine implements both steppers: Sequential is the one-shard special
+// case, which also makes the sequential path the trivially-correct
+// reference for the parallel one.
+type engine struct {
+	workers int
+	f       *Fabric
+	n       int   // shard count after binding
+	bounds  []int // len n+1; shard s owns tiles [bounds[s], bounds[s+1])
+	sh      []shardState
+
+	// procs caches GOMAXPROCS at bind time; on a single-P runtime the
+	// worker pool cannot win, so every cycle steps inline.
+	procs int
+
+	// forceParallel disables the quiet-cycle and single-P inline
+	// fallbacks so tests can drive the concurrent path anywhere.
+	forceParallel bool
+}
+
+// shardState is the per-shard staging area reused across cycles.
+type shardState struct {
+	pops     []stagedPop
+	pushes   [][]stagedPush // indexed by destination shard
+	stillHot []int
+	moves    int64
+}
+
+func (e *engine) Name() string {
+	if e.workers <= 1 {
+		return "seq"
+	}
+	return fmt.Sprintf("sharded-%d", e.workers)
+}
+
+func (e *engine) shards() [][2]int {
+	out := make([][2]int, e.n)
+	for s := 0; s < e.n; s++ {
+		out[s] = [2]int{e.bounds[s], e.bounds[s+1]}
+	}
+	return out
+}
+
+func (e *engine) bind(f *Fabric) {
+	if e.f != nil {
+		if e.f == f {
+			return
+		}
+		panic("fabric: Stepper already bound to another Fabric")
+	}
+	e.f = f
+	e.procs = runtime.GOMAXPROCS(0)
+	tiles := f.W * f.H
+	n := e.workers
+	if n < 1 {
+		n = 1
+	}
+	if n > tiles {
+		n = tiles
+	}
+	// shardOf is uint16; more shards than that is never useful anyway.
+	if n > 1<<16-1 {
+		n = 1<<16 - 1
+	}
+	e.n = n
+	e.bounds = make([]int, n+1)
+	for s := 0; s <= n; s++ {
+		e.bounds[s] = s * tiles / n
+	}
+	e.sh = make([]shardState, n)
+	f.shardOf = make([]uint16, tiles)
+	for s := 0; s < n; s++ {
+		e.sh[s].pushes = make([][]stagedPush, n)
+		for ti := e.bounds[s]; ti < e.bounds[s+1]; ti++ {
+			f.shardOf[ti] = uint16(s)
+		}
+	}
+	f.hotLists = make([][]int, n)
+}
+
+func (e *engine) step(f *Fabric) {
+	if e.n == 1 {
+		e.claim(0)
+		e.commit(0)
+	} else {
+		hot := 0
+		for s := range f.hotLists {
+			hot += len(f.hotLists[s])
+		}
+		if (hot < parallelHotPerShard*e.n || e.procs == 1) && !e.forceParallel {
+			for s := 0; s < e.n; s++ {
+				e.claim(s)
+			}
+			for s := 0; s < e.n; s++ {
+				e.commit(s)
+			}
+		} else {
+			e.stepParallel()
+		}
+	}
+	for s := range e.sh {
+		f.moves += e.sh[s].moves
+		e.sh[s].moves = 0
+	}
+}
+
+// stepParallel runs one cycle on the worker pool: all shards claim, a
+// barrier establishes that every staged transfer is visible, then all
+// shards commit their own queues.
+func (e *engine) stepParallel() {
+	var claimed, committed sync.WaitGroup
+	claimed.Add(e.n)
+	committed.Add(e.n)
+	gate := make(chan struct{})
+	for s := 0; s < e.n; s++ {
+		go func(s int) {
+			e.claim(s)
+			claimed.Done()
+			<-gate
+			e.commit(s)
+			committed.Done()
+		}(s)
+	}
+	claimed.Wait()
+	close(gate)
+	committed.Wait()
+}
+
+// claim runs the claim phase for shard s: for every hot tile, try to
+// move the head word of each input queue toward its configured outputs,
+// subject to one word per output link per cycle and space in each
+// destination queue, all judged against pre-cycle state. Successful
+// claims are staged; nothing observable by other shards is mutated.
+func (e *engine) claim(s int) {
+	f := e.f
+	st := &e.sh[s]
+	st.pops = st.pops[:0]
+	for d := range st.pushes {
+		st.pushes[d] = st.pushes[d][:0]
+	}
+	st.stillHot = st.stillHot[:0]
+
+	cur := f.hotLists[s]
+	// The commit phase re-marks hot tiles into the same backing array;
+	// cur is fully consumed before any commit runs.
+	f.hotLists[s] = cur[:0]
+
+	for _, ti := range cur {
+		f.hot[ti] = false
+		r := &f.routers[ti]
+		at := f.CoordOf(ti)
+		var outClaimed PortMask
+		hasWords := false
+
+		n := len(r.active)
+		if n == 0 {
+			continue
+		}
+		start := r.rr[0] % n
+		for k := 0; k < n; k++ {
+			ic := r.active[(start+k)%n]
+			in, c := Port(ic[0]), Color(ic[1])
+			q := r.queues[in][c]
+			if q == nil || q.empty() {
+				continue
+			}
+			hasWords = true
+			outs := r.routes[in][c]
+			if outs == 0 {
+				panic(fmt.Sprintf("fabric: word on unrouted (%v,%d) at %v", in, c, at))
+			}
+			// All-or-nothing multicast: every target link must be free and
+			// every destination queue must have space.
+			ok := true
+			for p := Port(0); p < NumPorts && ok; p++ {
+				if !outs.Has(p) {
+					continue
+				}
+				if outClaimed.Has(p) {
+					ok = false
+					break
+				}
+				if p == Ramp {
+					if f.rxQueue(ti, c).full() {
+						ok = false
+					}
+					continue
+				}
+				dx, dy := p.Delta()
+				nb := Coord{at.X + dx, at.Y + dy}
+				if !f.In(nb) {
+					// Configured route off the fabric edge: drop target.
+					// The paper's patterns never do this; flag loudly.
+					panic(fmt.Sprintf("fabric: route off edge at %v port %v", at, p))
+				}
+				nq := f.routers[f.Index(nb)].queues[p.Opposite()][c]
+				if nq == nil {
+					panic(fmt.Sprintf("fabric: no route configured at %v for arrivals on (%v,%d)", nb, p.Opposite(), c))
+				}
+				if nq.full() {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			bits := q.peek()
+			st.pops = append(st.pops, stagedPop{ti, in, c})
+			for p := Port(0); p < NumPorts; p++ {
+				if !outs.Has(p) {
+					continue
+				}
+				outClaimed |= 1 << p
+				if p == Ramp {
+					st.pushes[s] = append(st.pushes[s], stagedPush{tile: -1, c: c, bits: bits, rxOf: ti})
+				} else {
+					dx, dy := p.Delta()
+					nb := f.Index(Coord{at.X + dx, at.Y + dy})
+					st.pushes[f.shardOf[nb]] = append(st.pushes[f.shardOf[nb]],
+						stagedPush{tile: nb, in: p.Opposite(), c: c, bits: bits})
+				}
+			}
+		}
+		r.rr[0]++
+		if hasWords {
+			st.stillHot = append(st.stillHot, ti)
+		}
+	}
+}
+
+// commit applies shard s's staged transfers: first every pop of a queue
+// this shard owns (freeing slots exactly as the sequential engine does),
+// then every push destined for this shard, gathered from all source
+// shards in shard order.
+func (e *engine) commit(s int) {
+	f := e.f
+	st := &e.sh[s]
+	for _, sp := range st.pops {
+		f.routers[sp.tile].queues[sp.in][sp.c].pop()
+		st.moves++
+	}
+	for src := 0; src < e.n; src++ {
+		for _, sh := range e.sh[src].pushes[s] {
+			if sh.tile < 0 {
+				f.rxQueue(sh.rxOf, sh.c).push(sh.bits)
+				continue
+			}
+			if !f.routers[sh.tile].queues[sh.in][sh.c].push(sh.bits) {
+				panic("fabric: committed push overflowed (claim phase bug)")
+			}
+			f.markHot(sh.tile)
+		}
+	}
+	for _, ti := range st.stillHot {
+		f.markHot(ti)
+	}
+}

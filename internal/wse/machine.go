@@ -20,6 +20,8 @@ package wse
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/fabric"
 	"repro/internal/tensor"
@@ -42,6 +44,12 @@ type Config struct {
 	QueueDepth, RxDepth int
 	// PowerKW is the system power (20 kW), used for perf/W reporting.
 	PowerKW float64
+	// Workers selects the simulation engine: <= 1 steps routers and
+	// cores sequentially; > 1 shards the tile grid across that many
+	// goroutines (fabric.Sharded). The simulated machine is bit-identical
+	// either way — see the fabric package's determinism contract — so
+	// this is purely a host-side throughput knob.
+	Workers int
 }
 
 // CS1 returns the configuration of the machine in the paper, with the
@@ -92,18 +100,31 @@ type Machine struct {
 	Cfg   Config
 	Fab   *fabric.Fabric
 	Tiles []*Tile
+
+	// procs caches GOMAXPROCS at build time; parallel core stepping
+	// cannot win on a single-P runtime. shards caches the fabric's tile
+	// partition (fixed at bind time) to keep Step allocation-free.
+	procs  int
+	shards [][2]int
 }
 
 // New builds a machine.
 func New(cfg Config) *Machine {
 	cfg = cfg.withDefaults()
+	stepper := fabric.Sequential()
+	if cfg.Workers > 1 {
+		stepper = fabric.Sharded(cfg.Workers)
+	}
 	m := &Machine{
 		Cfg: cfg,
 		Fab: fabric.New(fabric.Config{
 			W: cfg.FabricW, H: cfg.FabricH,
 			QueueDepth: cfg.QueueDepth, RxDepth: cfg.RxDepth,
+			Stepper: stepper,
 		}),
 	}
+	m.procs = runtime.GOMAXPROCS(0)
+	m.shards = m.Fab.ShardRanges()
 	m.Tiles = make([]*Tile, cfg.Cores())
 	for i := range m.Tiles {
 		at := m.Fab.CoordOf(i)
@@ -121,10 +142,28 @@ func New(cfg Config) *Machine {
 func (m *Machine) TileAt(c fabric.Coord) *Tile { return m.Tiles[m.Fab.Index(c)] }
 
 // Step advances the whole machine one cycle: cores issue work, then the
-// fabric moves words one hop.
+// fabric moves words one hop. With a sharded engine the cores step on
+// the fabric's own tile partition, so every core's fabric access
+// (Send/Recv on its own tile) stays within the shard that owns it; core
+// state is tile-local, so the result is identical to sequential
+// stepping.
 func (m *Machine) Step() {
-	for _, t := range m.Tiles {
-		t.Core.step()
+	if len(m.shards) > 1 && m.procs > 1 {
+		var wg sync.WaitGroup
+		wg.Add(len(m.shards))
+		for _, sr := range m.shards {
+			go func(lo, hi int) {
+				defer wg.Done()
+				for _, t := range m.Tiles[lo:hi] {
+					t.Core.step()
+				}
+			}(sr[0], sr[1])
+		}
+		wg.Wait()
+	} else {
+		for _, t := range m.Tiles {
+			t.Core.step()
+		}
 	}
 	m.Fab.Step()
 }
