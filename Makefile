@@ -1,0 +1,52 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands, so a green `make check bench-gate` locally predicts a green
+# pipeline.
+
+GO ?= go
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+# The benchmark sweep the regression gate runs: short mode keeps the
+# paper-table benches cheap, 3 iterations per measurement, 6 repetitions
+# so benchgate can take a stable median.
+BENCH_FLAGS := -short -run '^$$' -bench . -benchtime 3x -count 6
+GATE := 'Benchmark(FabricStep|MachineStep)'
+
+.PHONY: build test race check lint bench bench-baseline bench-gate fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build
+	$(GO) vet ./...
+	$(GO) test ./...
+
+lint:
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	@if command -v staticcheck >/dev/null; then staticcheck ./...; else echo "staticcheck not installed; skipping (CI runs it)"; fi
+
+bench:
+	$(GO) test $(BENCH_FLAGS) . | tee bench.txt
+
+# Regenerate the committed baseline after an intentional performance
+# change (run on the same class of machine CI uses, or expect the gate's
+# threshold to absorb the difference).
+bench-baseline:
+	$(GO) test $(BENCH_FLAGS) . | tee bench.txt
+	$(GO) run ./cmd/benchgate -input bench.txt -write BENCH_BASELINE.json
+
+# Compare the current tree against the committed baseline — the same
+# command the bench-regression CI job runs.
+bench-gate:
+	$(GO) test $(BENCH_FLAGS) . | tee bench.txt
+	$(GO) run ./cmd/benchgate -input bench.txt -baseline BENCH_BASELINE.json -gate $(GATE) -threshold 15 -out bench-new.json
+
+fuzz:
+	$(GO) test ./internal/fp16 -run '^$$' -fuzz FuzzFloat16RoundTrip -fuzztime 30s
+	$(GO) test ./internal/fabric -run '^$$' -fuzz FuzzRouterDelivery -fuzztime 60s

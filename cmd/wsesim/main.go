@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/perfmodel"
@@ -22,7 +23,8 @@ func main() {
 	iters := flag.Int("iters", 20, "max BiCGStab iterations")
 	tol := flag.Float64("tol", 1e-3, "relative residual tolerance")
 	problem := flag.String("problem", "momentum", "poisson|momentum|random")
-	workers := flag.Int("workers", 1, "simulation worker goroutines (>1 shards the fabric; results are bit-identical)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"simulation worker goroutines (>1 shards the fabric on a persistent pool; results are bit-identical)")
 	flag.Parse()
 
 	m := stencil.Mesh{NX: *nx, NY: *ny, NZ: *nz}

@@ -81,6 +81,7 @@ func main() {
 // elapsed nanoseconds and total words moved.
 func timeEngine(size, cycles int, st fabric.Stepper) (int64, int64) {
 	f := fabric.New(fabric.Config{W: size, H: size, Stepper: st})
+	defer f.Close()
 	fabric.BuildFlows(f)
 	for warm := 0; warm < 2*size; warm++ {
 		fabric.DriveFlows(f)

@@ -88,7 +88,9 @@ type Options struct {
 	Ranks     int // Cluster backend: number of goroutine-ranks
 	// Workers selects the Wafer backend's simulation engine: <= 1 steps
 	// the machine sequentially, > 1 shards the tile grid across that
-	// many goroutines. Simulated results are bit-identical either way.
+	// many goroutines on a persistent worker pool (clamped to the tile
+	// count; see fabric.Sharded). Simulated results are bit-identical
+	// either way.
 	Workers int
 }
 
@@ -141,6 +143,7 @@ func Solve(p Problem, o Options) (Result, error) {
 		cfg := wse.CS1(m.NX, m.NY)
 		cfg.Workers = o.Workers
 		mach := wse.New(cfg)
+		defer mach.Close()
 		w, err := kernels.NewBiCGStabWSE(mach, stencil.NewOp7Half(norm))
 		if err != nil {
 			return res, err

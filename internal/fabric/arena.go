@@ -1,0 +1,42 @@
+package fabric
+
+// shardArena is a bump allocator for the router and core-rx queues of
+// one engine shard. Queue headers and ring buffers come from large
+// contiguous chunks, so the claim/commit loops of a shard walk memory
+// that was allocated together instead of chasing individually
+// heap-allocated queues spread across the whole fabric. Pointers handed
+// out remain stable: a full chunk is simply abandoned (it stays alive
+// through the queues that reference it) and a fresh one started.
+//
+// Arenas are single-owner by construction: configuration-time
+// allocation (SetRoute) happens before stepping, and stepping-time
+// allocation (lazy rx queues) is only ever performed by the shard that
+// owns the tile, so no locking is needed.
+type shardArena struct {
+	qfree []queue  // spare queue headers in the current chunk
+	wfree []uint32 // spare ring-buffer words in the current chunk
+}
+
+const (
+	arenaQueueChunk = 512
+	arenaWordChunk  = 8192
+)
+
+// newQueue allocates a queue of the given depth from the arena.
+func (a *shardArena) newQueue(depth int) *queue {
+	if len(a.qfree) == 0 {
+		a.qfree = make([]queue, arenaQueueChunk)
+	}
+	q := &a.qfree[0]
+	a.qfree = a.qfree[1:]
+	if len(a.wfree) < depth {
+		n := arenaWordChunk
+		if depth > n {
+			n = depth
+		}
+		a.wfree = make([]uint32, n)
+	}
+	q.buf = a.wfree[:depth:depth]
+	a.wfree = a.wfree[depth:]
+	return q
+}

@@ -21,17 +21,22 @@
 // A Fabric is advanced by a Stepper (see stepper.go): Sequential steps
 // every router on one goroutine, Sharded(workers) partitions the tile
 // grid into contiguous shards stepped concurrently with a two-phase
-// claim/commit barrier per cycle. The two engines are bit-identical —
-// same queue contents, same occupancies, same Moves counter, cycle for
-// cycle — because a cycle's routing decisions depend only on pre-cycle
-// state and each queue is touched by exactly one shard during commit.
-// Host code may therefore select an engine purely on fabric size without
-// changing any simulated result.
+// claim/commit barrier per cycle, on a persistent worker pool (pool.go)
+// that parks between cycles. The two engines are bit-identical — same
+// queue contents, same occupancies, same Moves counter, cycle for cycle
+// — because a cycle's routing decisions depend only on pre-cycle state
+// and each queue is touched by exactly one shard during commit. Host
+// code may therefore select an engine purely on fabric size without
+// changing any simulated result. Queue storage lives in per-shard
+// arenas (arena.go), and the claim phase takes a specialized fast path
+// for single-output, non-multicast routes — the overwhelmingly common
+// case in the paper's communication patterns.
 package fabric
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/fp16"
 )
@@ -131,23 +136,29 @@ func (w Word) UnpackF16() (lo, hi fp16.Float16) {
 	return fp16.FromBits(uint16(w.Bits)), fp16.FromBits(uint16(w.Bits >> 16))
 }
 
-// queue is a bounded ring of words (a hardware input queue).
+// queue is a bounded ring of words (a hardware input queue). Queues are
+// allocated from per-shard arenas (arena.go) so the hot claim/commit
+// loops of one shard walk contiguous memory. The ring arithmetic uses
+// conditional wrap instead of modulo: push/pop are the two hottest
+// operations of the whole simulator.
 type queue struct {
 	buf        []uint32
-	head, size int
+	head, size int32
 }
 
-func newQueue(depth int) *queue { return &queue{buf: make([]uint32, depth)} }
-
-func (q *queue) full() bool  { return q.size == len(q.buf) }
+func (q *queue) full() bool  { return q.size == int32(len(q.buf)) }
 func (q *queue) empty() bool { return q.size == 0 }
-func (q *queue) len() int    { return q.size }
+func (q *queue) len() int    { return int(q.size) }
 
 func (q *queue) push(w uint32) bool {
-	if q.full() {
+	if q.size == int32(len(q.buf)) {
 		return false
 	}
-	q.buf[(q.head+q.size)%len(q.buf)] = w
+	i := q.head + q.size
+	if n := int32(len(q.buf)); i >= n {
+		i -= n
+	}
+	q.buf[i] = w
 	q.size++
 	return true
 }
@@ -155,13 +166,44 @@ func (q *queue) push(w uint32) bool {
 func (q *queue) peek() uint32 { return q.buf[q.head] }
 
 // at returns the k-th queued word without popping (0 is the head).
-func (q *queue) at(k int) uint32 { return q.buf[(q.head+k)%len(q.buf)] }
+func (q *queue) at(k int) uint32 { return q.buf[(int(q.head)+k)%len(q.buf)] }
 
 func (q *queue) pop() uint32 {
 	w := q.buf[q.head]
-	q.head = (q.head + 1) % len(q.buf)
+	q.head++
+	if q.head == int32(len(q.buf)) {
+		q.head = 0
+	}
 	q.size--
 	return w
+}
+
+// routeEntry is one configured (input port, color) of a router. Entries
+// are kept in first-configured order: the arbitration rotation walks
+// this list, so the order is part of the simulated state. Each entry
+// caches its input queue pointer and — for the single-output,
+// non-multicast common case — the resolved destination, so the claim
+// phase's fast path touches no coordinate math and no (port,color)
+// table lookups. Resolution is lazy (first cycle the entry is claimed)
+// because the destination queue may not exist yet while routes are
+// still being configured; routes are static once stepping begins.
+type routeEntry struct {
+	q        *queue // input queue for (in, c) at this tile
+	dst      *queue // resolved destination queue (single-output only)
+	dstTile  int32  // destination tile for hot re-marking; -1 = core rx
+	dstShard uint16 // engine shard owning dstTile
+	outs     PortMask
+	in       Port
+	c        Color
+	sport    Port // the single output port; valid when single
+	single   bool // exactly one output port: the fast-path case
+}
+
+func (en *routeEntry) setOuts(outs PortMask) {
+	en.outs = outs
+	en.single = bits.OnesCount8(uint8(outs)) == 1
+	en.sport = Port(bits.TrailingZeros8(uint8(outs)))
+	en.dst = nil // force re-resolution
 }
 
 // router holds the static routes and input queues of one tile.
@@ -171,8 +213,9 @@ type router struct {
 	routes [NumPorts][MaxColors]PortMask
 	// queues[in][color] holds words that arrived on (in, color).
 	queues [NumPorts][MaxColors]*queue
-	// usedColors tracks which (in, color) queues exist, to bound scanning.
-	active [][2]uint8 // list of (in, color) with configured routes
+	// active lists the configured (in, color) pairs with their cached
+	// routing, to bound scanning in the claim phase.
+	active []routeEntry
 	// arbitration rotation per output port
 	rr [NumPorts]int
 }
@@ -215,22 +258,19 @@ type Fabric struct {
 	hot      []bool
 	hotLists [][]int
 	shardOf  []uint16
+	// arenas[s] backs the queue storage of every tile in shard s; only
+	// shard s allocates from it during stepping.
+	arenas []shardArena
 
 	stepper Stepper
 }
 
-type stagedPop struct {
-	tile int
-	in   Port
-	c    Color
-}
-
+// stagedPush is one claimed transfer awaiting commit. The destination
+// queue is resolved at claim time, so commit is a straight pointer walk.
 type stagedPush struct {
-	tile int // destination tile index, -1 => core rx of srcTile
-	in   Port
-	c    Color
+	q    *queue
+	tile int32 // destination tile to re-mark hot; -1 = core rx delivery
 	bits uint32
-	rxOf int // when tile == -1, the tile whose core receives
 }
 
 // New builds a fabric of w×h routers.
@@ -252,6 +292,23 @@ func New(cfg Config) *Fabric {
 
 // StepperName reports the name of the bound stepping engine.
 func (f *Fabric) StepperName() string { return f.stepper.Name() }
+
+// Close releases the stepping engine's persistent worker pool, if one
+// was started. It is idempotent and safe on any engine (Sequential's is
+// a no-op); it must not be called concurrently with Step. The fabric
+// remains fully usable afterwards — cycles simply step inline. A fabric
+// that is never Closed does not leak: a runtime cleanup stops the pool
+// when the fabric becomes unreachable (the parked workers hold no
+// reference to the fabric, so they do not pin it).
+func (f *Fabric) Close() { f.stepper.Close() }
+
+// RunSharded runs fn over every engine shard's [lo, hi) tile range, on
+// the engine's worker pool when it is profitable (sharded engine on a
+// multi-core host) and inline otherwise. Callers that step per-tile
+// actors each cycle (wse.Machine) use this so core stepping rides the
+// same persistent pool — and the same tile partition — as the fabric,
+// keeping all tile-local fabric access shard-owned.
+func (f *Fabric) RunSharded(fn func(lo, hi int)) { f.stepper.runShards(fn) }
 
 // ShardRanges returns the engine's tile partition as [lo, hi) index
 // ranges. Callers that step per-tile actors concurrently (wse.Machine)
@@ -279,14 +336,50 @@ func (f *Fabric) Moves() int64 { return f.moves }
 // the tile's core. Routes are fixed before simulation, as in the hardware
 // ("routing is configured offline, as part of compilation").
 func (f *Fabric) SetRoute(at Coord, in Port, c Color, outs PortMask) {
-	r := &f.routers[f.Index(at)]
-	if r.routes[in][c] == 0 && outs != 0 {
-		r.active = append(r.active, [2]uint8{uint8(in), uint8(c)})
-	}
+	ti := f.Index(at)
+	r := &f.routers[ti]
 	r.routes[in][c] = outs
 	if r.queues[in][c] == nil {
-		r.queues[in][c] = newQueue(f.cfg.QueueDepth)
+		r.queues[in][c] = f.arenas[f.shardOf[ti]].newQueue(f.cfg.QueueDepth)
 	}
+	for i := range r.active {
+		if r.active[i].in == in && r.active[i].c == c {
+			r.active[i].setOuts(outs)
+			return
+		}
+	}
+	if outs == 0 {
+		return
+	}
+	en := routeEntry{q: r.queues[in][c], in: in, c: c}
+	en.setOuts(outs)
+	r.active = append(r.active, en)
+}
+
+// resolveSingle fills en's cached destination for the single-output
+// fast path: the core rx queue for a ramp delivery, or the neighbouring
+// router's input queue for a link hop. Called once per entry, from the
+// claim phase of the shard that owns the tile.
+func (f *Fabric) resolveSingle(ti int, en *routeEntry) *queue {
+	if en.sport == Ramp {
+		en.dst, en.dstTile, en.dstShard = f.rxQueue(ti, en.c), -1, f.shardOf[ti]
+		return en.dst
+	}
+	at := f.CoordOf(ti)
+	dx, dy := en.sport.Delta()
+	nb := Coord{at.X + dx, at.Y + dy}
+	if !f.In(nb) {
+		// Configured route off the fabric edge: drop target. The paper's
+		// patterns never do this; flag loudly.
+		panic(fmt.Sprintf("fabric: route off edge at %v port %v", at, en.sport))
+	}
+	nbi := f.Index(nb)
+	nq := f.routers[nbi].queues[en.sport.Opposite()][en.c]
+	if nq == nil {
+		panic(fmt.Sprintf("fabric: no route configured at %v for arrivals on (%v,%d)", nb, en.sport.Opposite(), en.c))
+	}
+	en.dst, en.dstTile, en.dstShard = nq, int32(nbi), f.shardOf[nbi]
+	return nq
 }
 
 // Route returns the configured output mask for (in, color) at tile at.
@@ -335,7 +428,9 @@ func (f *Fabric) RxLen(at Coord, c Color) int {
 
 func (f *Fabric) rxQueue(tile int, c Color) *queue {
 	if f.rx[tile][c] == nil {
-		f.rx[tile][c] = newQueue(f.cfg.RxDepth)
+		// Lazily created during stepping, always by the shard that owns
+		// the tile, so the per-shard arena needs no locking.
+		f.rx[tile][c] = f.arenas[f.shardOf[tile]].newQueue(f.cfg.RxDepth)
 	}
 	return f.rx[tile][c]
 }
@@ -419,9 +514,8 @@ func (f *Fabric) Fingerprint() uint64 {
 func (f *Fabric) Quiescent() bool {
 	for i := range f.routers {
 		r := &f.routers[i]
-		for _, ic := range r.active {
-			q := r.queues[ic[0]][ic[1]]
-			if q != nil && !q.empty() {
+		for j := range r.active {
+			if !r.active[j].q.empty() {
 				return false
 			}
 		}

@@ -1,0 +1,104 @@
+package fabric
+
+import "sync"
+
+// workerPool is a fixed set of persistent goroutines, one per engine
+// shard, parked between parallel cycles. It replaces the
+// goroutine-per-shard-per-cycle spawn of the original sharded engine:
+// waking a parked worker is one channel send, versus a full goroutine
+// start (stack allocation, scheduler handoff) every cycle.
+//
+// Lifecycle contract — the pool must not pin the Fabric. Workers hold a
+// reference only to the pool itself: the per-cycle work function is
+// installed in p.job immediately before the workers are woken and
+// cleared as soon as they all finish, so between cycles nothing
+// reachable from a parked worker references the engine or the fabric.
+// The engine closes the pool explicitly via Close, and a
+// runtime.AddCleanup registered at pool creation closes it when the
+// fabric becomes unreachable without one.
+type workerPool struct {
+	n    int
+	wake chan int // carries shard indices to run; closed on close
+	job  func(shard int)
+	mid  phaseBarrier // claim → commit barrier inside two-phase jobs
+	done sync.WaitGroup
+	once sync.Once
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{n: n, wake: make(chan int, n)}
+	p.mid.init(n)
+	for i := 0; i < n; i++ {
+		go p.work()
+	}
+	return p
+}
+
+func (p *workerPool) work() {
+	// Parked on the receive between cycles; exits when wake is closed.
+	// The shard index travels in the channel rather than being bound to
+	// the worker, so each shard runs exactly once per cycle no matter
+	// which worker dequeues it (a worker that finishes early may pick up
+	// a second shard in barrier-free jobs).
+	for s := range p.wake {
+		p.job(s)
+		p.done.Done()
+	}
+}
+
+// run executes job(shard) exactly once for every shard 0..n-1 and
+// returns when all have finished. The job pointer is visible to workers
+// via the channel receive that wakes them and cleared under the
+// WaitGroup's happens-before edge, so the pool never retains it while
+// parked.
+func (p *workerPool) run(job func(shard int)) {
+	p.job = job
+	p.done.Add(p.n)
+	for s := 0; s < p.n; s++ {
+		p.wake <- s
+	}
+	p.done.Wait()
+	p.job = nil
+}
+
+// close terminates the workers. Idempotent; must not race run.
+func (p *workerPool) close() { p.once.Do(func() { close(p.wake) }) }
+
+// barrier blocks the calling worker until all n workers of the current
+// cycle have arrived, then releases them together — the claim→commit
+// phase boundary.
+func (p *workerPool) barrier() { p.mid.await() }
+
+// phaseBarrier is a reusable n-party barrier. A generation counter
+// makes it safe to reuse every cycle without reallocation; the mutex
+// gives the race detector (and the memory model) the pairwise
+// happens-before edges between every claim and every commit.
+type phaseBarrier struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+}
+
+func (b *phaseBarrier) init(n int) {
+	b.n = n
+	b.cond.L = &b.mu
+}
+
+func (b *phaseBarrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,224 @@
+package fabric
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolCloseIdempotentAndInlineAfter checks the Close contract:
+// Close is idempotent (any number of calls, via the Fabric or the
+// Stepper), and a closed engine keeps stepping with bit-identical
+// results — it just runs inline.
+func TestPoolCloseIdempotentAndInlineAfter(t *testing.T) {
+	seq := trafficFabric(12, 12, Sequential())
+	st := Sharded(4)
+	st.(*engine).forceParallel = true
+	par := trafficFabric(12, 12, st)
+	rngA := rand.New(rand.NewSource(11))
+	rngB := rand.New(rand.NewSource(11))
+	for cyc := 0; cyc < 60; cyc++ {
+		driveCycle(seq, rngA)
+		driveCycle(par, rngB)
+	}
+	if st.(*engine).pool == nil {
+		t.Fatal("forced parallel stepping did not start a worker pool")
+	}
+	par.Close()
+	par.Close() // idempotent via the fabric
+	st.Close()  // and via the stepper
+	par.Close() // and again
+	if st.(*engine).pool != nil {
+		t.Fatal("Close left the pool attached")
+	}
+	for cyc := 0; cyc < 60; cyc++ {
+		driveCycle(seq, rngA)
+		driveCycle(par, rngB)
+		if fa, fb := seq.Fingerprint(), par.Fingerprint(); fa != fb {
+			t.Fatalf("post-Close cycle %d: fingerprints diverge: %#x vs %#x", cyc, fa, fb)
+		}
+	}
+	// Closing an engine that never went parallel (or the Sequential
+	// engine) is a no-op.
+	seq.Close()
+	seq.Close()
+}
+
+// settledGoroutines forces garbage collection until the goroutine count
+// stops changing, so pools left behind by earlier tests (reclaimed
+// asynchronously by their runtime cleanups) cannot skew a baseline.
+func settledGoroutines() int {
+	prev := -1
+	for i := 0; i < 100; i++ {
+		runtime.GC()
+		time.Sleep(5 * time.Millisecond)
+		if n := runtime.NumGoroutine(); n == prev {
+			return n
+		} else {
+			prev = n
+		}
+	}
+	return prev
+}
+
+// TestPoolGoroutinesReleasedOnClose pins the lifecycle guarantee that
+// motivated the Close/finalizer design: after Close, the worker
+// goroutines exit and the count returns to its pre-pool baseline.
+func TestPoolGoroutinesReleasedOnClose(t *testing.T) {
+	const workers = 6
+	base := settledGoroutines()
+	st := Sharded(workers)
+	st.(*engine).forceParallel = true
+	f := trafficFabric(10, 10, st)
+	rng := rand.New(rand.NewSource(5))
+	for cyc := 0; cyc < 30; cyc++ {
+		driveCycle(f, rng)
+	}
+	if g := runtime.NumGoroutine(); g < base+workers {
+		t.Fatalf("pool not running: %d goroutines, baseline %d, want >= %d", g, base, base+workers)
+	}
+	f.Close()
+	// Workers exit as soon as they observe the closed wake channel; give
+	// the scheduler a generous window, with slack for unrelated runtime
+	// goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	slack := base + 1
+	for runtime.NumGoroutine() > slack && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > slack {
+		t.Fatalf("goroutines did not return to baseline after Close: %d, baseline %d", g, base)
+	}
+}
+
+// buildAbandonedPool starts a pool and drops every reference to the
+// fabric and stepper. Kept noinline so no stack slot in the caller can
+// keep the fabric reachable.
+//
+//go:noinline
+func buildAbandonedPool(workers int) {
+	st := Sharded(workers)
+	st.(*engine).forceParallel = true
+	f := trafficFabric(10, 10, st)
+	rng := rand.New(rand.NewSource(6))
+	for cyc := 0; cyc < 10; cyc++ {
+		driveCycle(f, rng)
+	}
+}
+
+// TestPoolReclaimedWithoutClose pins the "pool must not pin the Fabric"
+// half of the design: a fabric that is dropped without Close becomes
+// unreachable (parked workers hold no reference to it), its runtime
+// cleanup fires, and the worker goroutines exit on their own.
+func TestPoolReclaimedWithoutClose(t *testing.T) {
+	base := settledGoroutines()
+	buildAbandonedPool(6)
+	deadline := time.Now().Add(5 * time.Second)
+	got := runtime.NumGoroutine()
+	for got > base+1 && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+		got = runtime.NumGoroutine()
+	}
+	if got > base+1 {
+		t.Fatalf("abandoned pool was not reclaimed: %d goroutines, baseline %d — the pool is pinning the fabric", got, base)
+	}
+}
+
+// TestPoolServesCoreStepping checks RunSharded: the same pool (same
+// tile partition) that steps the routers serves per-tile callbacks, and
+// every shard range is visited exactly once per call.
+func TestPoolServesCoreStepping(t *testing.T) {
+	st := Sharded(4)
+	f := New(Config{W: 8, H: 8, Stepper: st})
+	defer f.Close()
+	counts := make([]int, 64)
+	var mu sync.Mutex
+	for round := 0; round < 3; round++ {
+		f.RunSharded(func(lo, hi int) {
+			mu.Lock()
+			for ti := lo; ti < hi; ti++ {
+				counts[ti]++
+			}
+			mu.Unlock()
+		})
+	}
+	for ti, c := range counts {
+		if c != 3 {
+			t.Fatalf("tile %d visited %d times over 3 RunSharded calls, want 3", ti, c)
+		}
+	}
+}
+
+// TestShardedWorkerClamp pins the documented clamp rule: workers <= 0
+// means one per available CPU, and at bind time the shard count is
+// capped at the tile count.
+func TestShardedWorkerClamp(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		name       string
+		req        int
+		w, h       int
+		wantShards int
+	}{
+		{"negative-means-gomaxprocs", -3, 32, 32, gmp},
+		{"zero-means-gomaxprocs", 0, 32, 32, gmp},
+		{"one-is-sequential", 1, 8, 8, 1},
+		{"plain", 5, 32, 32, 5},
+		{"more-workers-than-tiles", 99, 2, 2, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := Sharded(tc.req)
+			f := New(Config{W: tc.w, H: tc.h, Stepper: st})
+			defer f.Close()
+			if got := len(f.ShardRanges()); got != tc.wantShards {
+				t.Errorf("Sharded(%d) on %dx%d: %d shards, want %d",
+					tc.req, tc.w, tc.h, got, tc.wantShards)
+			}
+			// Shards must tile [0, W*H) contiguously with no gaps.
+			next := 0
+			for _, sr := range f.ShardRanges() {
+				if sr[0] != next || sr[1] < sr[0] {
+					t.Fatalf("shard ranges not contiguous: %v", f.ShardRanges())
+				}
+				next = sr[1]
+			}
+			if next != tc.w*tc.h {
+				t.Fatalf("shard ranges do not cover the fabric: %v", f.ShardRanges())
+			}
+		})
+	}
+	if name := Sharded(7).Name(); name != "sharded-7" {
+		t.Errorf("Sharded(7).Name() = %q", name)
+	}
+	wantAuto := "seq"
+	if gmp > 1 {
+		wantAuto = fmt.Sprintf("sharded-%d", gmp)
+	}
+	if name := Sharded(0).Name(); name != wantAuto {
+		t.Errorf("Sharded(0).Name() = %q, want %q (GOMAXPROCS=%d)", name, wantAuto, gmp)
+	}
+}
+
+// TestStepperRebindPanicMessage pins that the double-bind panic carries
+// an actionable message.
+func TestStepperRebindPanicMessage(t *testing.T) {
+	st := Sharded(2)
+	New(Config{W: 4, H: 4, Stepper: st})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on rebinding a Stepper")
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, "already bound") {
+			t.Fatalf("rebind panic message %q does not mention the double bind", msg)
+		}
+	}()
+	New(Config{W: 4, H: 4, Stepper: st})
+}

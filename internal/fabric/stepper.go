@@ -3,14 +3,13 @@ package fabric
 import (
 	"fmt"
 	"runtime"
-	"sync"
 )
 
 // Stepper is the engine that advances a Fabric by one cycle. Two
 // implementations exist: Sequential steps every router on the calling
 // goroutine; Sharded partitions the tile grid into contiguous shards and
-// steps them on a worker pool with a two-phase (claim-then-commit)
-// barrier per cycle.
+// steps them on a persistent worker pool with a two-phase
+// (claim-then-commit) barrier per cycle.
 //
 // Determinism contract: both engines produce bit-identical architectural
 // state, cycle for cycle — the same router queue contents and
@@ -20,17 +19,24 @@ import (
 // most one push and one pop per cycle, and every queue is committed by
 // the shard that owns its tile, pops before pushes — exactly the order
 // of the sequential engine. The equivalence golden test in equiv_test.go
-// enforces the contract against state fingerprints every cycle.
+// enforces the contract against state fingerprints every cycle, and
+// FuzzRouterDelivery extends it to randomized flow configurations.
 //
 // A Stepper instance is bound to the first Fabric it is given and must
 // not be shared between fabrics.
 type Stepper interface {
 	// Name identifies the engine, e.g. for benchmark sub-names.
 	Name() string
+	// Close releases the engine's worker pool, if one is running. It is
+	// idempotent, a no-op for Sequential, and must not be called
+	// concurrently with stepping. The engine stays usable afterwards:
+	// subsequent cycles step inline.
+	Close()
 
 	bind(f *Fabric)
 	step(f *Fabric)
 	shards() [][2]int
+	runShards(fn func(lo, hi int))
 }
 
 // Sequential returns the single-goroutine stepping engine. It is the
@@ -38,11 +44,19 @@ type Stepper interface {
 func Sequential() Stepper { return &engine{workers: 1} }
 
 // Sharded returns a stepping engine that partitions the tile grid into
-// up to `workers` contiguous shards and steps them concurrently. Cycles
-// with little in-flight traffic fall back to inline stepping, so the
-// sharded engine is never pathologically slower than Sequential on a
-// quiet fabric. workers < 1 is treated as 1.
-func Sharded(workers int) Stepper { return &engine{workers: workers} }
+// contiguous shards and steps them concurrently on a persistent worker
+// pool. The requested worker count is clamped by a documented rule:
+// workers <= 0 means "one per available CPU" (runtime.GOMAXPROCS(0) at
+// construction), and at bind time the count is capped at the fabric's
+// tile count (a shard must own at least one tile). Cycles with little
+// in-flight traffic fall back to inline stepping, so the sharded engine
+// is never pathologically slower than Sequential on a quiet fabric.
+func Sharded(workers int) Stepper {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &engine{workers: workers}
+}
 
 // parallelHotPerShard is the minimum average hot-tile count per shard
 // below which a cycle is stepped inline instead of on the worker pool
@@ -60,6 +74,12 @@ type engine struct {
 	bounds  []int // len n+1; shard s owns tiles [bounds[s], bounds[s+1])
 	sh      []shardState
 
+	// pool is the persistent worker set, started lazily on the first
+	// parallel cycle and stopped by Close or by the fabric's runtime
+	// cleanup. closed latches Close: later cycles step inline.
+	pool   *workerPool
+	closed bool
+
 	// procs caches GOMAXPROCS at bind time; on a single-P runtime the
 	// worker pool cannot win, so every cycle steps inline.
 	procs int
@@ -71,7 +91,7 @@ type engine struct {
 
 // shardState is the per-shard staging area reused across cycles.
 type shardState struct {
-	pops     []stagedPop
+	pops     []*queue
 	pushes   [][]stagedPush // indexed by destination shard
 	stillHot []int
 	moves    int64
@@ -120,6 +140,7 @@ func (e *engine) bind(f *Fabric) {
 	}
 	e.sh = make([]shardState, n)
 	f.shardOf = make([]uint16, tiles)
+	f.arenas = make([]shardArena, n)
 	for s := 0; s < n; s++ {
 		e.sh[s].pushes = make([][]stagedPush, n)
 		for ti := e.bounds[s]; ti < e.bounds[s+1]; ti++ {
@@ -127,6 +148,28 @@ func (e *engine) bind(f *Fabric) {
 		}
 	}
 	f.hotLists = make([][]int, n)
+}
+
+// Close stops the persistent worker pool. Idempotent; the engine keeps
+// stepping correctly (inline) afterwards.
+func (e *engine) Close() {
+	e.closed = true
+	if e.pool != nil {
+		e.pool.close()
+		e.pool = nil
+	}
+}
+
+// ensurePool starts the worker pool on first use and arranges for it to
+// be closed when the fabric is garbage-collected without an explicit
+// Close. The cleanup closure captures only the pool — never the engine
+// or fabric — so registering it does not keep the fabric alive.
+func (e *engine) ensurePool() *workerPool {
+	if e.pool == nil {
+		e.pool = newWorkerPool(e.n)
+		runtime.AddCleanup(e.f, func(p *workerPool) { p.close() }, e.pool)
+	}
+	return e.pool
 }
 
 func (e *engine) step(f *Fabric) {
@@ -138,7 +181,8 @@ func (e *engine) step(f *Fabric) {
 		for s := range f.hotLists {
 			hot += len(f.hotLists[s])
 		}
-		if (hot < parallelHotPerShard*e.n || e.procs == 1) && !e.forceParallel {
+		inline := hot < parallelHotPerShard*e.n || e.procs == 1
+		if e.closed || (inline && !e.forceParallel) {
 			for s := 0; s < e.n; s++ {
 				e.claim(s)
 			}
@@ -155,26 +199,29 @@ func (e *engine) step(f *Fabric) {
 	}
 }
 
-// stepParallel runs one cycle on the worker pool: all shards claim, a
-// barrier establishes that every staged transfer is visible, then all
-// shards commit their own queues.
+// stepParallel runs one cycle on the worker pool: all shards claim, the
+// pool's reusable barrier establishes that every staged transfer is
+// visible, then all shards commit their own queues.
 func (e *engine) stepParallel() {
-	var claimed, committed sync.WaitGroup
-	claimed.Add(e.n)
-	committed.Add(e.n)
-	gate := make(chan struct{})
-	for s := 0; s < e.n; s++ {
-		go func(s int) {
-			e.claim(s)
-			claimed.Done()
-			<-gate
-			e.commit(s)
-			committed.Done()
-		}(s)
+	p := e.ensurePool()
+	p.run(func(s int) {
+		e.claim(s)
+		p.barrier()
+		e.commit(s)
+	})
+}
+
+// runShards implements Fabric.RunSharded: fn over every shard range, on
+// the pool when the engine is sharded and the host can exploit it.
+func (e *engine) runShards(fn func(lo, hi int)) {
+	if e.n == 1 || e.procs == 1 || e.closed {
+		for s := 0; s < e.n; s++ {
+			fn(e.bounds[s], e.bounds[s+1])
+		}
+		return
 	}
-	claimed.Wait()
-	close(gate)
-	committed.Wait()
+	p := e.ensurePool()
+	p.run(func(s int) { fn(e.bounds[s], e.bounds[s+1]) })
 }
 
 // claim runs the claim phase for shard s: for every hot tile, try to
@@ -182,6 +229,11 @@ func (e *engine) stepParallel() {
 // subject to one word per output link per cycle and space in each
 // destination queue, all judged against pre-cycle state. Successful
 // claims are staged; nothing observable by other shards is mutated.
+//
+// The common case — a route with exactly one output port — takes a fast
+// path with no coordinate math and no port scanning: the route entry
+// caches the destination queue, so a claim is an occupancy compare plus
+// two appends. Multicast routes fall back to the generic path.
 func (e *engine) claim(s int) {
 	f := e.f
 	st := &e.sh[s]
@@ -199,82 +251,115 @@ func (e *engine) claim(s int) {
 	for _, ti := range cur {
 		f.hot[ti] = false
 		r := &f.routers[ti]
-		at := f.CoordOf(ti)
-		var outClaimed PortMask
-		hasWords := false
-
 		n := len(r.active)
 		if n == 0 {
 			continue
 		}
-		start := r.rr[0] % n
+		var outClaimed PortMask
+		hasWords := false
+		idx := r.rr[0] % n
 		for k := 0; k < n; k++ {
-			ic := r.active[(start+k)%n]
-			in, c := Port(ic[0]), Color(ic[1])
-			q := r.queues[in][c]
-			if q == nil || q.empty() {
+			en := &r.active[idx]
+			idx++
+			if idx == n {
+				idx = 0
+			}
+			q := en.q
+			if q.size == 0 {
 				continue
 			}
 			hasWords = true
-			outs := r.routes[in][c]
-			if outs == 0 {
-				panic(fmt.Sprintf("fabric: word on unrouted (%v,%d) at %v", in, c, at))
-			}
-			// All-or-nothing multicast: every target link must be free and
-			// every destination queue must have space.
-			ok := true
-			for p := Port(0); p < NumPorts && ok; p++ {
-				if !outs.Has(p) {
-					continue
-				}
+			if en.single {
+				p := en.sport
 				if outClaimed.Has(p) {
-					ok = false
-					break
-				}
-				if p == Ramp {
-					if f.rxQueue(ti, c).full() {
-						ok = false
-					}
 					continue
 				}
-				dx, dy := p.Delta()
-				nb := Coord{at.X + dx, at.Y + dy}
-				if !f.In(nb) {
-					// Configured route off the fabric edge: drop target.
-					// The paper's patterns never do this; flag loudly.
-					panic(fmt.Sprintf("fabric: route off edge at %v port %v", at, p))
+				dst := en.dst
+				if dst == nil {
+					dst = f.resolveSingle(ti, en)
 				}
-				nq := f.routers[f.Index(nb)].queues[p.Opposite()][c]
-				if nq == nil {
-					panic(fmt.Sprintf("fabric: no route configured at %v for arrivals on (%v,%d)", nb, p.Opposite(), c))
-				}
-				if nq.full() {
-					ok = false
-				}
-			}
-			if !ok {
-				continue
-			}
-			bits := q.peek()
-			st.pops = append(st.pops, stagedPop{ti, in, c})
-			for p := Port(0); p < NumPorts; p++ {
-				if !outs.Has(p) {
-					continue
+				if dst.size == int32(len(dst.buf)) {
+					continue // destination full; word waits
 				}
 				outClaimed |= 1 << p
-				if p == Ramp {
-					st.pushes[s] = append(st.pushes[s], stagedPush{tile: -1, c: c, bits: bits, rxOf: ti})
-				} else {
-					dx, dy := p.Delta()
-					nb := f.Index(Coord{at.X + dx, at.Y + dy})
-					st.pushes[f.shardOf[nb]] = append(st.pushes[f.shardOf[nb]],
-						stagedPush{tile: nb, in: p.Opposite(), c: c, bits: bits})
-				}
+				st.pops = append(st.pops, q)
+				st.pushes[en.dstShard] = append(st.pushes[en.dstShard],
+					stagedPush{q: dst, tile: en.dstTile, bits: q.buf[q.head]})
+				continue
 			}
+			e.claimMulticast(s, ti, en, &outClaimed)
 		}
 		r.rr[0]++
 		if hasWords {
 			st.stillHot = append(st.stillHot, ti)
+		}
+	}
+}
+
+// claimMulticast is the generic claim path: all-or-nothing fanout of
+// the head word to every configured output port — every target link
+// must be free and every destination queue must have space.
+func (e *engine) claimMulticast(s, ti int, en *routeEntry, outClaimed *PortMask) {
+	f := e.f
+	st := &e.sh[s]
+	at := f.CoordOf(ti)
+	outs := en.outs
+	if outs == 0 {
+		panic(fmt.Sprintf("fabric: word on unrouted (%v,%d) at %v", en.in, en.c, at))
+	}
+	var dst [NumPorts]*queue
+	var dtile [NumPorts]int32
+	ok := true
+	for p := Port(0); p < NumPorts && ok; p++ {
+		if !outs.Has(p) {
+			continue
+		}
+		if outClaimed.Has(p) {
+			ok = false
+			break
+		}
+		if p == Ramp {
+			rq := f.rxQueue(ti, en.c)
+			if rq.full() {
+				ok = false
+				continue
+			}
+			dst[p], dtile[p] = rq, -1
+			continue
+		}
+		dx, dy := p.Delta()
+		nb := Coord{at.X + dx, at.Y + dy}
+		if !f.In(nb) {
+			// Configured route off the fabric edge: drop target. The
+			// paper's patterns never do this; flag loudly.
+			panic(fmt.Sprintf("fabric: route off edge at %v port %v", at, p))
+		}
+		nbi := f.Index(nb)
+		nq := f.routers[nbi].queues[p.Opposite()][en.c]
+		if nq == nil {
+			panic(fmt.Sprintf("fabric: no route configured at %v for arrivals on (%v,%d)", nb, p.Opposite(), en.c))
+		}
+		if nq.full() {
+			ok = false
+			continue
+		}
+		dst[p], dtile[p] = nq, int32(nbi)
+	}
+	if !ok {
+		return
+	}
+	bits := en.q.peek()
+	st.pops = append(st.pops, en.q)
+	for p := Port(0); p < NumPorts; p++ {
+		if !outs.Has(p) {
+			continue
+		}
+		*outClaimed |= 1 << p
+		if p == Ramp {
+			st.pushes[s] = append(st.pushes[s], stagedPush{q: dst[p], tile: -1, bits: bits})
+		} else {
+			sh := f.shardOf[dtile[p]]
+			st.pushes[sh] = append(st.pushes[sh], stagedPush{q: dst[p], tile: dtile[p], bits: bits})
 		}
 	}
 }
@@ -286,20 +371,20 @@ func (e *engine) claim(s int) {
 func (e *engine) commit(s int) {
 	f := e.f
 	st := &e.sh[s]
-	for _, sp := range st.pops {
-		f.routers[sp.tile].queues[sp.in][sp.c].pop()
-		st.moves++
+	for _, q := range st.pops {
+		q.pop()
 	}
+	st.moves += int64(len(st.pops))
 	for src := 0; src < e.n; src++ {
-		for _, sh := range e.sh[src].pushes[s] {
-			if sh.tile < 0 {
-				f.rxQueue(sh.rxOf, sh.c).push(sh.bits)
+		for _, ps := range e.sh[src].pushes[s] {
+			if ps.tile < 0 {
+				ps.q.push(ps.bits)
 				continue
 			}
-			if !f.routers[sh.tile].queues[sh.in][sh.c].push(sh.bits) {
+			if !ps.q.push(ps.bits) {
 				panic("fabric: committed push overflowed (claim phase bug)")
 			}
-			f.markHot(sh.tile)
+			f.markHot(int(ps.tile))
 		}
 	}
 	for _, ti := range st.stillHot {

@@ -20,8 +20,6 @@ package wse
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/fabric"
 	"repro/internal/tensor"
@@ -101,11 +99,9 @@ type Machine struct {
 	Fab   *fabric.Fabric
 	Tiles []*Tile
 
-	// procs caches GOMAXPROCS at build time; parallel core stepping
-	// cannot win on a single-P runtime. shards caches the fabric's tile
-	// partition (fixed at bind time) to keep Step allocation-free.
-	procs  int
-	shards [][2]int
+	// coreStep is the per-shard core stepping closure, built once so
+	// Step stays allocation-free on the hot path.
+	coreStep func(lo, hi int)
 }
 
 // New builds a machine.
@@ -123,8 +119,6 @@ func New(cfg Config) *Machine {
 			Stepper: stepper,
 		}),
 	}
-	m.procs = runtime.GOMAXPROCS(0)
-	m.shards = m.Fab.ShardRanges()
 	m.Tiles = make([]*Tile, cfg.Cores())
 	for i := range m.Tiles {
 		at := m.Fab.CoordOf(i)
@@ -135,36 +129,32 @@ func New(cfg Config) *Machine {
 		t.Core = newCore(m, t)
 		m.Tiles[i] = t
 	}
+	m.coreStep = func(lo, hi int) {
+		for _, t := range m.Tiles[lo:hi] {
+			t.Core.step()
+		}
+	}
 	return m
 }
 
 // TileAt returns the tile at coordinate c.
 func (m *Machine) TileAt(c fabric.Coord) *Tile { return m.Tiles[m.Fab.Index(c)] }
 
+// Close releases the simulation worker pool (see fabric.Fabric.Close).
+// Idempotent; the machine stays usable, stepping inline. Machines that
+// are never Closed do not leak — the pool is reclaimed with the fabric
+// — but long-lived hosts that churn through machines should Close
+// promptly rather than waiting on the garbage collector.
+func (m *Machine) Close() { m.Fab.Close() }
+
 // Step advances the whole machine one cycle: cores issue work, then the
 // fabric moves words one hop. With a sharded engine the cores step on
-// the fabric's own tile partition, so every core's fabric access
-// (Send/Recv on its own tile) stays within the shard that owns it; core
-// state is tile-local, so the result is identical to sequential
-// stepping.
+// the fabric's own tile partition and its persistent worker pool, so
+// every core's fabric access (Send/Recv on its own tile) stays within
+// the shard that owns it; core state is tile-local, so the result is
+// identical to sequential stepping.
 func (m *Machine) Step() {
-	if len(m.shards) > 1 && m.procs > 1 {
-		var wg sync.WaitGroup
-		wg.Add(len(m.shards))
-		for _, sr := range m.shards {
-			go func(lo, hi int) {
-				defer wg.Done()
-				for _, t := range m.Tiles[lo:hi] {
-					t.Core.step()
-				}
-			}(sr[0], sr[1])
-		}
-		wg.Wait()
-	} else {
-		for _, t := range m.Tiles {
-			t.Core.step()
-		}
-	}
+	m.Fab.RunSharded(m.coreStep)
 	m.Fab.Step()
 }
 
