@@ -12,7 +12,7 @@ SHELL := /bin/bash
 BENCH_FLAGS := -short -run '^$$' -bench . -benchtime 3x -count 6
 GATE := 'Benchmark(FabricStep|MachineStep)'
 
-.PHONY: build test race check lint bench bench-baseline bench-gate fuzz
+.PHONY: build test race check lint bench bench-baseline bench-gate fuzz profile
 
 build:
 	$(GO) build ./...
@@ -50,3 +50,13 @@ bench-gate:
 fuzz:
 	$(GO) test ./internal/fp16 -run '^$$' -fuzz FuzzFloat16RoundTrip -fuzztime 30s
 	$(GO) test ./internal/fabric -run '^$$' -fuzz FuzzRouterDelivery -fuzztime 60s
+	$(GO) test ./internal/wse -run '^$$' -fuzz FuzzMachineEquivalence -fuzztime 60s
+
+# CPU + heap profile of the machine-step hot path (saturated 128×128,
+# sequential engine) — the workflow that found wse.Core.step dominating
+# machine cycles and motivated the event-driven scheduler; see README
+# "Profiling". Inspect with `go tool pprof cpu.prof` / `mem.prof`.
+profile:
+	$(GO) test -run '^$$' -bench 'BenchmarkMachineStep$$/^128x128$$/^seq$$' \
+		-benchtime 300x -count 1 -cpuprofile cpu.prof -memprofile mem.prof .
+	$(GO) tool pprof -top -nodecount 15 cpu.prof

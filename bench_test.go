@@ -63,29 +63,45 @@ func BenchmarkFabricStep(b *testing.B) {
 	}
 }
 
-// BenchmarkMachineStep measures a full machine cycle (cores + routers)
-// on an idle-task fabric, seq vs sharded — the path every wafer kernel
-// simulation pays per cycle.
-func BenchmarkMachineStep(b *testing.B) {
-	sizes := []int{32, 64}
-	if testing.Short() {
-		sizes = []int{32}
+// spinInstr is a never-completing one-lane instruction: launched on a
+// thread it keeps its core permanently on the runnable worklist, so a
+// machine full of them measures the per-active-core scheduling and
+// datapath cost with no idle-skip help.
+type spinInstr struct{}
+
+func (spinInstr) Step(c *wse.Core, lanes int) int {
+	if lanes > 0 {
+		return 1
 	}
+	return 0
+}
+func (spinInstr) Done() bool { return false }
+
+// benchMachineStep runs one machine-cycle sub-benchmark per (size,
+// engine) pair. Sub-names must not end in "-<digits>": `go test`
+// appends a -GOMAXPROCS suffix only on multi-core hosts, and
+// cmd/benchgate strips one trailing -N to make baselines portable — a
+// literal "sharded-8" would be corrupted on one side of that
+// comparison. Paper-scale entries run one engine to keep the gated
+// sweep bounded.
+func benchMachineStep(b *testing.B, sizes [][2]int, setup func(*wse.Machine)) {
 	for _, size := range sizes {
-		// Sub-names must not end in "-<digits>": `go test` appends a
-		// -GOMAXPROCS suffix only on multi-core hosts, and cmd/benchgate
-		// strips one trailing -N to make baselines portable — a literal
-		// "sharded-8" would be corrupted on one side of that comparison.
 		for _, workers := range []int{0, 8} {
 			name := "seq"
 			if workers > 1 {
 				name = "sharded"
 			}
-			b.Run(fmt.Sprintf("%dx%d/%s", size, size, name), func(b *testing.B) {
-				cfg := wse.CS1(size, size)
+			if size[0] > 256 && workers > 1 {
+				continue
+			}
+			b.Run(fmt.Sprintf("%dx%d/%s", size[0], size[1], name), func(b *testing.B) {
+				cfg := wse.CS1(size[0], size[1])
 				cfg.Workers = workers
 				mach := wse.New(cfg)
 				defer mach.Close()
+				if setup != nil {
+					setup(mach)
+				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					mach.Step()
@@ -93,6 +109,35 @@ func BenchmarkMachineStep(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkMachineStep measures a full machine cycle (cores + routers)
+// with every core saturated (a live thread on each tile), seq vs
+// sharded — the per-active-core path every wafer kernel simulation pays
+// per cycle. The 602x595 entry is the paper's full wafer: ~358k active
+// cores per cycle, steppable since scheduling went event-driven.
+func BenchmarkMachineStep(b *testing.B) {
+	sizes := [][2]int{{32, 32}, {64, 64}, {128, 128}, {602, 595}}
+	if testing.Short() {
+		// 128×128 and the paper-scale wafer stay in short mode: they are
+		// the gate's headline entries.
+		sizes = [][2]int{{32, 32}, {128, 128}, {602, 595}}
+	}
+	benchMachineStep(b, sizes, func(mach *wse.Machine) {
+		for _, tl := range mach.Tiles {
+			tl.Core.LaunchThread(0, "spin", spinInstr{}, nil)
+		}
+	})
+}
+
+// BenchmarkMachineStepIdle measures a machine cycle on a fully
+// quiescent fabric — no tasks, no threads, no in-flight words. With
+// event-driven core scheduling this is the "idle tiles are free" path:
+// cost is O(engine shards), not O(cores), which is what makes the
+// bursty phases of the paper's programs (AllReduce waits, scalar
+// phases) cheap at any fabric size.
+func BenchmarkMachineStepIdle(b *testing.B) {
+	benchMachineStep(b, [][2]int{{128, 128}, {602, 595}}, nil)
 }
 
 // BenchmarkTable1_OperationCounts measures one mixed-precision BiCGStab

@@ -9,7 +9,11 @@
 // new/old and fail (exit 1) when the geometric mean of the ratios
 // exceeds 1 + threshold%. A geomean over the gated set keeps one noisy
 // benchmark from failing the build while still catching a real
-// regression spread across the suite.
+// regression spread across the suite. The default gate regexp is
+// unanchored, so 'MachineStep' covers both the saturated
+// BenchmarkMachineStep sweep (including the paper-scale 602x595 entry)
+// and BenchmarkMachineStepIdle, the idle-tiles-are-free benchmark of
+// the event-driven core scheduler.
 //
 // Typical use (see Makefile and .github/workflows/ci.yml):
 //

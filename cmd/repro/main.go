@@ -13,7 +13,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table1|headline|allreduce|fig7|fig8|fig9|table2|spmv2d|fig1|memory|routing|all")
+		"experiment: table1|headline|allreduce|paperallreduce|fig7|fig8|fig9|table2|spmv2d|fig1|memory|routing|all")
 	fig9N := flag.Int("fig9n", 25, "fig9 mesh scale: runs 25×100×25 by default (paper: 100×400×100)")
 	flag.Parse()
 
@@ -24,6 +24,9 @@ func main() {
 		{"table1", core.Table1Report},
 		{"headline", core.HeadlineReport},
 		{"allreduce", core.AllReduceReport},
+		// Cycle-simulates the full 602×595 wafer (~15 s); selectable
+		// explicitly, skipped by the default "all" suite.
+		{"paperallreduce", core.PaperAllReduceReport},
 		{"fig7", core.ScalingReport}, // figs 7+8 share the report
 		{"fig8", core.ScalingReport},
 		{"fig9", func() string { return core.Fig9Report(*fig9N, *fig9N*4, *fig9N, 15) }},
@@ -41,6 +44,9 @@ func main() {
 		}
 		if seen[r.name] || (r.name == "fig8" && *exp == "all") {
 			continue // scaling report covers both figures
+		}
+		if r.name == "paperallreduce" && *exp == "all" {
+			continue // paper-scale run is opt-in; see flag help
 		}
 		seen[r.name] = true
 		found = true

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestPaperScaleAllReduce cycle-simulates the Figure 6 AllReduce on the
+// full 602×595 wafer of the paper — the "larger meshes" milestone —
+// under both stepping engines, and requires them to be bit-identical:
+// same broadcast sum, same latency, same architectural-state
+// fingerprint. It also checks the paper's headline claims directly from
+// simulation instead of perfmodel extrapolation: latency below 1.5 µs
+// at 1.1 GHz and within ~1.3× of the fabric diameter.
+//
+// The run is skipped in -short mode and under the race detector (see
+// raceEnabled); CI executes it in a dedicated non-race step.
+func TestPaperScaleAllReduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale cycle simulation: skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("paper-scale cycle simulation: skipped under the race detector")
+	}
+
+	seq, err := PaperAllReduce(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shd, err := PaperAllReduce(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("seq: %d cycles (%.2f µs), sum %g, fp %#x", seq.Cycles, seq.Microseconds(), seq.Sum, seq.Fingerprint)
+	t.Logf("%s: %d cycles (%.2f µs), sum %g, fp %#x", shd.Engine, shd.Cycles, shd.Microseconds(), shd.Sum, shd.Fingerprint)
+
+	if seq.Engine != "seq" || shd.Engine == "seq" {
+		t.Fatalf("engine selection wrong: %q vs %q", seq.Engine, shd.Engine)
+	}
+	if seq.Cycles != shd.Cycles {
+		t.Errorf("latency diverges across engines: seq %d, %s %d", seq.Cycles, shd.Engine, shd.Cycles)
+	}
+	if seq.Sum != shd.Sum {
+		t.Errorf("sum diverges across engines: seq %g, %s %g", seq.Sum, shd.Engine, shd.Sum)
+	}
+	if seq.Fingerprint != shd.Fingerprint {
+		t.Errorf("state fingerprints diverge: seq %#x, %s %#x", seq.Fingerprint, shd.Engine, shd.Fingerprint)
+	}
+
+	// Paper claims, measured rather than extrapolated.
+	diam := int64(seq.Diameter)
+	if seq.Cycles < diam {
+		t.Errorf("latency %d below the fabric diameter %d: impossible", seq.Cycles, diam)
+	}
+	if float64(seq.Cycles) > 1.35*float64(diam) {
+		t.Errorf("latency %d cycles = %.2f× diameter; paper reports ~1.1×", seq.Cycles, float64(seq.Cycles)/float64(diam))
+	}
+	if us := seq.Microseconds(); us >= 1.5 {
+		t.Errorf("simulated AllReduce %.2f µs; paper claims < 1.5 µs", us)
+	}
+
+	// Exactness of the reduction tree against a float64 reference is a
+	// different contract (see ROADMAP); here only require agreement to
+	// float32 tree-order tolerance.
+	var want float64
+	for i := 0; i < seq.W*seq.H; i++ {
+		want += float64(i%17) * 0.25
+	}
+	if rel := (float64(seq.Sum) - want) / want; rel > 1e-4 || rel < -1e-4 {
+		t.Errorf("sum %g too far from reference %g (rel %.2e)", seq.Sum, want, rel)
+	}
+}

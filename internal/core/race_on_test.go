@@ -1,0 +1,10 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; the paper-scale cycle simulation skips itself there (the
+// ~50M-word-hop run is an order of magnitude slower under race, and the
+// engine-equivalence contract is already race-exercised at small scale
+// by the wse and fabric fuzz/equivalence suites).
+const raceEnabled = true

@@ -188,9 +188,12 @@ func (q *queue) pop() uint32 {
 // because the destination queue may not exist yet while routes are
 // still being configured; routes are static once stepping begins.
 type routeEntry struct {
-	q        *queue // input queue for (in, c) at this tile
-	dst      *queue // resolved destination queue (single-output only)
-	dstTile  int32  // destination tile for hot re-marking; -1 = core rx
+	q   *queue // input queue for (in, c) at this tile
+	dst *queue // resolved destination queue (single-output only)
+	// dstTile is the destination tile for hot re-marking when >= 0; a
+	// negative value marks a core rx delivery at tile -(dstTile+1), which
+	// fires the fabric's rx-delivery wake callbacks instead.
+	dstTile  int32
 	dstShard uint16 // engine shard owning dstTile
 	outs     PortMask
 	in       Port
@@ -258,6 +261,8 @@ type Fabric struct {
 	hot      []bool
 	hotLists [][]int
 	shardOf  []uint16
+	// rxWake holds the registered rx-delivery callbacks; see OnRxDelivery.
+	rxWake []func(tile int)
 	// arenas[s] backs the queue storage of every tile in shard s; only
 	// shard s allocates from it during stepping.
 	arenas []shardArena
@@ -268,8 +273,12 @@ type Fabric struct {
 // stagedPush is one claimed transfer awaiting commit. The destination
 // queue is resolved at claim time, so commit is a straight pointer walk.
 type stagedPush struct {
-	q    *queue
-	tile int32 // destination tile to re-mark hot; -1 = core rx delivery
+	q *queue
+	// tile >= 0 is a router destination to re-mark hot; tile < 0 is a
+	// core rx delivery at tile -(tile+1), which fires the rx-delivery
+	// wake callbacks (the event edge event-driven per-tile actors — the
+	// wse core worklist, the AllReduce state machines — are parked on).
+	tile int32
 	bits uint32
 }
 
@@ -315,6 +324,34 @@ func (f *Fabric) RunSharded(fn func(lo, hi int)) { f.stepper.runShards(fn) }
 // use the same partition so all tile-local fabric access stays
 // shard-owned.
 func (f *Fabric) ShardRanges() [][2]int { return f.stepper.shards() }
+
+// rxTile encodes a core rx delivery destination for stagedPush.tile and
+// routeEntry.dstTile: negative, recoverable with rxTileIndex.
+func rxTile(ti int) int32 { return -int32(ti) - 1 }
+
+// rxTileIndex inverts rxTile.
+func rxTileIndex(enc int32) int { return int(-enc) - 1 }
+
+// OnRxDelivery registers fn to be called every time a word is committed
+// into a core receive buffer, with the destination tile index. This is
+// the event edge that lets per-tile actors (the wse core scheduler, the
+// kernels' host-side state machines) park while idle instead of polling
+// their receive buffers every cycle.
+//
+// Concurrency contract: with a sharded engine the callback runs on the
+// worker goroutine of the shard that owns the tile, during the commit
+// phase. It must therefore touch only state owned by that tile's shard
+// (e.g. append to a per-shard worklist selected via ShardOf) and must
+// not call back into the fabric. Callbacks cannot be unregistered; a
+// long-lived fabric should multiplex one callback rather than stacking
+// registrations.
+func (f *Fabric) OnRxDelivery(fn func(tile int)) { f.rxWake = append(f.rxWake, fn) }
+
+// ShardOf returns the index of the engine shard that owns the tile.
+// Per-tile actors stepped concurrently (wse.Machine's core worklists)
+// key their per-shard state by this, so rx-delivery callbacks stay
+// shard-local.
+func (f *Fabric) ShardOf(tile int) int { return int(f.shardOf[tile]) }
 
 // Index returns the tile index of c.
 func (f *Fabric) Index(c Coord) int { return c.Y*f.W + c.X }
@@ -362,7 +399,7 @@ func (f *Fabric) SetRoute(at Coord, in Port, c Color, outs PortMask) {
 // claim phase of the shard that owns the tile.
 func (f *Fabric) resolveSingle(ti int, en *routeEntry) *queue {
 	if en.sport == Ramp {
-		en.dst, en.dstTile, en.dstShard = f.rxQueue(ti, en.c), -1, f.shardOf[ti]
+		en.dst, en.dstTile, en.dstShard = f.rxQueue(ti, en.c), rxTile(ti), f.shardOf[ti]
 		return en.dst
 	}
 	at := f.CoordOf(ti)

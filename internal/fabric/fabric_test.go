@@ -258,3 +258,36 @@ func TestQuiescentDrain(t *testing.T) {
 		t.Error("word missing after drain")
 	}
 }
+
+// TestRxDeliveryCallback pins the rx-wake event edge: registered
+// callbacks fire exactly when a word is committed into a core receive
+// buffer — once per delivered word, with the destination tile index,
+// on both the single-output fast path and the multicast path.
+func TestRxDeliveryCallback(t *testing.T) {
+	f := New(Config{W: 4, H: 1})
+	buildEastPath(f, 0, 3) // color 3: (0,0) → (3,0), single-output hops
+	// Multicast: color 5 fans out from (1,0) to its own ramp and east
+	// to (2,0)'s ramp.
+	f.SetRoute(Coord{1, 0}, Ramp, 5, Mask(Ramp, East))
+	f.SetRoute(Coord{2, 0}, West, 5, Mask(Ramp))
+
+	var got []int
+	f.OnRxDelivery(func(tile int) { got = append(got, tile) })
+	if s := f.ShardOf(3); s != 0 {
+		t.Fatalf("ShardOf(3) = %d on a sequential fabric, want 0", s)
+	}
+
+	f.Send(Coord{0, 0}, WordF32(3, 1))
+	f.Send(Coord{1, 0}, WordF32(5, 2))
+	for i := 0; i < 8; i++ {
+		f.Step()
+	}
+	want := map[int]int{3: 1, 1: 1, 2: 1} // tile index → delivery count
+	counts := map[int]int{}
+	for _, ti := range got {
+		counts[ti]++
+	}
+	if len(got) != 3 || counts[3] != want[3] || counts[1] != want[1] || counts[2] != want[2] {
+		t.Errorf("rx callbacks = %v, want one delivery each at tiles 1, 2, 3", got)
+	}
+}

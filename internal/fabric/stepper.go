@@ -324,7 +324,7 @@ func (e *engine) claimMulticast(s, ti int, en *routeEntry, outClaimed *PortMask)
 				ok = false
 				continue
 			}
-			dst[p], dtile[p] = rq, -1
+			dst[p], dtile[p] = rq, rxTile(ti)
 			continue
 		}
 		dx, dy := p.Delta()
@@ -356,7 +356,7 @@ func (e *engine) claimMulticast(s, ti int, en *routeEntry, outClaimed *PortMask)
 		}
 		*outClaimed |= 1 << p
 		if p == Ramp {
-			st.pushes[s] = append(st.pushes[s], stagedPush{q: dst[p], tile: -1, bits: bits})
+			st.pushes[s] = append(st.pushes[s], stagedPush{q: dst[p], tile: dtile[p], bits: bits})
 		} else {
 			sh := f.shardOf[dtile[p]]
 			st.pushes[sh] = append(st.pushes[sh], stagedPush{q: dst[p], tile: dtile[p], bits: bits})
@@ -367,7 +367,9 @@ func (e *engine) claimMulticast(s, ti int, en *routeEntry, outClaimed *PortMask)
 // commit applies shard s's staged transfers: first every pop of a queue
 // this shard owns (freeing slots exactly as the sequential engine does),
 // then every push destined for this shard, gathered from all source
-// shards in shard order.
+// shards in shard order. Core rx deliveries fire the fabric's
+// rx-delivery wake callbacks from here, on the goroutine of the shard
+// that owns the destination tile — the contract OnRxDelivery documents.
 func (e *engine) commit(s int) {
 	f := e.f
 	st := &e.sh[s]
@@ -379,6 +381,9 @@ func (e *engine) commit(s int) {
 		for _, ps := range e.sh[src].pushes[s] {
 			if ps.tile < 0 {
 				ps.q.push(ps.bits)
+				for _, fn := range f.rxWake {
+					fn(rxTileIndex(ps.tile))
+				}
 				continue
 			}
 			if !ps.q.push(ps.bits) {

@@ -29,6 +29,16 @@ type AllReduce struct {
 	cx0, cx1, cy0, cy1 int
 
 	tiles []*arTile
+
+	// Event-driven actor scheduling: tiles with actionable work sit on a
+	// per-engine-shard pending list and park otherwise (e.g. while
+	// waiting for reduction operands or the broadcast); the fabric's
+	// rx-delivery wake re-lists them when words land at their ramp. This
+	// is what makes the paper-scale 602×595 reduction cheap to simulate:
+	// during the long serialization phases almost every tile is parked.
+	pending   [][]int32
+	queued    []bool
+	remaining int
 }
 
 type arTile struct {
@@ -246,7 +256,22 @@ func NewAllReduce(m *wse.Machine, base fabric.Color) (*AllReduce, error) {
 			ar.tiles[y*w+x] = t
 		}
 	}
+	ar.pending = make([][]int32, len(f.ShardRanges()))
+	ar.queued = make([]bool, w*h)
+	// Any word landing at a tile's ramp (reduction operand, quad word,
+	// broadcast result) re-lists the tile. The callback runs on the
+	// shard that owns the tile, so the per-shard append is race-free.
+	f.OnRxDelivery(ar.wakeTile)
 	return ar, nil
+}
+
+// wakeTile puts a tile on its shard's pending list (idempotent).
+func (ar *AllReduce) wakeTile(ti int) {
+	if !ar.queued[ti] {
+		ar.queued[ti] = true
+		s := ar.F.ShardOf(ti)
+		ar.pending[s] = append(ar.pending[s], int32(ti))
+	}
 }
 
 func (ar *AllReduce) centerCols() []int {
@@ -277,6 +302,12 @@ type AllReduceResult struct {
 // Run performs one AllReduce over values (one float32 per tile, fabric
 // row-major). It returns the broadcast sum and the cycle count from start
 // to the last delivery.
+//
+// Each cycle only pending tiles step; a tile parks when its next move
+// waits on a word that has not arrived and is re-listed by the fabric's
+// rx-delivery wake. Tile state is tile-local and each tile touches only
+// its own ramp, so the stepping order — and therefore the engine choice
+// — does not change the simulated state.
 func (ar *AllReduce) Run(values []float32, maxCycles int64) (AllReduceResult, error) {
 	w, h := ar.F.W, ar.F.H
 	if len(values) != w*h {
@@ -292,16 +323,39 @@ func (ar *AllReduce) Run(values []float32, maxCycles int64) (AllReduceResult, er
 		t.haveResult = false
 		t.result = 0
 	}
+	// Every tile has an injection to attempt on the first cycle.
+	for s := range ar.pending {
+		ar.pending[s] = ar.pending[s][:0]
+	}
+	for i := range ar.queued {
+		ar.queued[i] = false
+	}
+	for i := range ar.tiles {
+		ar.wakeTile(i)
+	}
+	ar.remaining = len(ar.tiles)
+
 	start := ar.F.Cycle()
 	for cyc := int64(0); cyc < maxCycles; cyc++ {
-		allDone := true
-		for _, t := range ar.tiles {
-			ar.stepTile(t)
-			if !t.haveResult {
-				allDone = false
+		for s := range ar.pending {
+			list := ar.pending[s]
+			keep := list[:0]
+			for _, ti := range list {
+				t := ar.tiles[ti]
+				had := t.haveResult
+				ar.stepTile(t)
+				if t.haveResult && !had {
+					ar.remaining--
+				}
+				if ar.tileActionable(t) {
+					keep = append(keep, ti)
+				} else {
+					ar.queued[ti] = false
+				}
 			}
+			ar.pending[s] = keep
 		}
-		if allDone {
+		if ar.remaining == 0 {
 			res := AllReduceResult{
 				Sum:     ar.tiles[ar.cy0*w+ar.cx0].result,
 				Cycles:  ar.F.Cycle() - start,
@@ -315,6 +369,47 @@ func (ar *AllReduce) Run(values []float32, maxCycles int64) (AllReduceResult, er
 		ar.F.Step()
 	}
 	return AllReduceResult{}, fmt.Errorf("kernels: allreduce did not finish in %d cycles", maxCycles)
+}
+
+// tileActionable reports whether the tile can make progress without a
+// new word arriving: a send to attempt (or retry under backpressure),
+// or words already waiting at its ramp for a phase it is in. Everything
+// else parks; the rx-delivery wake covers future arrivals.
+func (ar *AllReduce) tileActionable(t *arTile) bool {
+	at := fabric.Coord{X: t.x, Y: t.y}
+	if !t.isRowCtr {
+		if !t.sentRow {
+			return true
+		}
+	} else {
+		if t.rowGot < t.rowExpect && ar.F.RxLen(at, ar.blue) > 0 {
+			return true
+		}
+		if t.rowDone && !t.isColCtr && !t.sentCol {
+			return true
+		}
+		if t.isColCtr {
+			if t.rowDone && t.colGot < t.colExpect && ar.F.RxLen(at, ar.green) > 0 {
+				return true
+			}
+			if t.colDone && !t.isRoot && !t.sentQuad {
+				return true
+			}
+			if t.isRoot {
+				if t.colDone && t.quadGot < t.quadExpect &&
+					(ar.F.RxLen(at, ar.c4a) > 0 || ar.F.RxLen(at, ar.c4b) > 0 || ar.F.RxLen(at, ar.c4c) > 0) {
+					return true
+				}
+				if t.colDone && t.quadGot == t.quadExpect && !t.sentRed {
+					return true
+				}
+			}
+		}
+	}
+	if !t.haveResult && ar.F.RxLen(at, ar.red) > 0 {
+		return true
+	}
+	return false
 }
 
 // stepTile runs one cycle of a tile's reduction state machine. A tile

@@ -125,3 +125,30 @@ func TestAllReduceSharesFabricWithSpMV(t *testing.T) {
 	}
 	checkSpMVResult(t, p, h, vv)
 }
+
+// TestAllReduceLeavesMachineIdle pins a worklist-engine regression: the
+// AllReduce drives the fabric directly, and its ramp deliveries land at
+// cores with no stream subscriptions. Those rx wakes must not enqueue
+// cores on the machine's runnable worklists — the machine is never
+// core-stepped here, so stale entries would make AllIdle report a busy
+// machine forever (the polling engine correctly reported idle).
+func TestAllReduceLeavesMachineIdle(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		m := wse.New(func() wse.Config { c := wse.CS1(8, 8); c.Workers = workers; return c }())
+		defer m.Close()
+		ar, err := NewAllReduce(m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]float32, 64)
+		for i := range vals {
+			vals[i] = float32(i)
+		}
+		if _, err := ar.Run(vals, 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		if !m.AllIdle() {
+			t.Errorf("workers=%d: machine not AllIdle after a fabric-level AllReduce", workers)
+		}
+	}
+}

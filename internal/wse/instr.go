@@ -13,6 +13,15 @@ import (
 // returns how many datapath lanes it consumed; Done reports completion.
 // Instructions keep their progress in tensor descriptors, which is what
 // lets five FIFO-draining adds alias one output vector safely.
+//
+// Scheduling contract (the event-driven worklist engine relies on it):
+// an instruction runs only while its core is stepped, and a not-yet-Done
+// instruction keeps the core on the runnable worklist — a stalled Step
+// (used = 0, e.g. a backpressured send or a dry stream) is retried every
+// cycle, exactly as the polling engine did. Step must touch only its own
+// core and tile (Send/Recv on c, the tile arena, FIFOs and stream
+// buffers of that tile); scheduling calls into other cores would race
+// with their shard's worklist under the sharded engine.
 type Instr interface {
 	Step(c *Core, lanes int) (used int)
 	Done() bool

@@ -51,8 +51,10 @@ type Config struct {
 }
 
 // CS1 returns the configuration of the machine in the paper, with the
-// fabric dimensions overridden to w×h (the full 602×595 wafer is too large
-// to cycle-simulate; perfmodel extrapolates from smaller fabrics).
+// fabric dimensions overridden to w×h. The full 602×595 wafer is
+// steppable under cycle simulation since core scheduling went
+// event-driven (idle tiles are free); pass CS1(602, 595) for
+// paper-scale runs, or smaller fabrics for quick experiments.
 func CS1(w, h int) Config {
 	return Config{
 		FabricW: w, FabricH: h,
@@ -94,14 +96,39 @@ type Tile struct {
 }
 
 // Machine is a simulated wafer.
+//
+// Core scheduling is event-driven: each fabric engine shard owns a
+// runnable-core worklist, and Step walks only those lists — an idle
+// tile costs nothing per cycle. Cores enter a list through the event
+// edges (Activate, Unblock, LaunchThread, Subscribe, FIFO push via its
+// task activation, and rx-delivery wakes from the fabric) and leave it
+// the first stepped cycle they have no runnable work. The simulated
+// machine state is identical to stepping every core every cycle,
+// because stepping an idle core is a no-op; the machine-level
+// equivalence fuzz target (FuzzMachineEquivalence) pins this against
+// the sequential engine cycle for cycle.
 type Machine struct {
 	Cfg   Config
 	Fab   *fabric.Fabric
 	Tiles []*Tile
 
+	// runnable[s] is shard s's worklist. Only the shard that owns a
+	// core's tile appends to or compacts its list (host code counts as
+	// the owner while the machine is not mid-Step).
+	runnable [][]*Core
+	// loShard maps a shard's first tile index to its shard index, so the
+	// RunSharded closure can recover which worklist to walk.
+	loShard map[int]int
+
 	// coreStep is the per-shard core stepping closure, built once so
 	// Step stays allocation-free on the hot path.
 	coreStep func(lo, hi int)
+
+	// steps counts Machine.Step invocations — the denominator for core
+	// utilization. It can lag Fab.Cycle() when host kernels advance the
+	// fabric directly (kernels.AllReduce), which must not dilute
+	// utilization the cores never had a cycle to use.
+	steps int64
 }
 
 // New builds a machine.
@@ -119,6 +146,12 @@ func New(cfg Config) *Machine {
 			Stepper: stepper,
 		}),
 	}
+	ranges := m.Fab.ShardRanges()
+	m.runnable = make([][]*Core, len(ranges))
+	m.loShard = make(map[int]int, len(ranges))
+	for s, r := range ranges {
+		m.loShard[r[0]] = s
+	}
 	m.Tiles = make([]*Tile, cfg.Cores())
 	for i := range m.Tiles {
 		at := m.Fab.CoordOf(i)
@@ -127,14 +160,61 @@ func New(cfg Config) *Machine {
 			Arena: tensor.NewArena(cfg.MemPerTile),
 		}
 		t.Core = newCore(m, t)
+		t.Core.shard = m.Fab.ShardOf(i)
 		m.Tiles[i] = t
 	}
-	m.coreStep = func(lo, hi int) {
-		for _, t := range m.Tiles[lo:hi] {
-			t.Core.step()
+	m.coreStep = func(lo, hi int) { m.stepShard(m.loShard[lo]) }
+	// Words arriving at a tile's ramp wake its core; the callback runs
+	// on the owning shard (see fabric.Fabric.OnRxDelivery), so the
+	// worklist append is shard-local. Cores with no stream
+	// subscriptions ignore the wake: their step would not touch the rx
+	// buffer, and host-side kernels that drive the fabric directly
+	// (kernels.AllReduce) deliver to ramps of unsubscribed cores — those
+	// wakes must not pollute the worklists of a machine that is never
+	// core-stepped, or AllIdle would misreport a fully idle machine.
+	m.Fab.OnRxDelivery(func(tile int) {
+		if c := m.Tiles[tile].Core; len(c.subColors) > 0 {
+			c.wake()
+		}
+	})
+	return m
+}
+
+// stepShard steps every runnable core of shard s, compacting the
+// worklist in place: cores with no further runnable work drop off and
+// will be re-listed by the next event that concerns them. Waking a core
+// during the walk is safe only for the core being stepped (a self-wake
+// is a no-op while it is queued) — the contract Task.OnComplete
+// documents.
+func (m *Machine) stepShard(s int) {
+	list := m.runnable[s]
+	w := 0
+	for i := 0; i < len(list); i++ {
+		c := list[i]
+		c.step()
+		// runnable's fast half inlines; a fully-stable list takes no
+		// writes at all.
+		if c.runnable() {
+			if w != i {
+				list[w] = c
+			}
+			w++
+		} else {
+			c.queued = false
 		}
 	}
-	return m
+	m.runnable[s] = list[:w]
+}
+
+// anyRunnable reports whether any core is on a worklist — O(shards),
+// the busy probe RunUntil and AllIdle lean on.
+func (m *Machine) anyRunnable() bool {
+	for _, l := range m.runnable {
+		if len(l) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // TileAt returns the tile at coordinate c.
@@ -147,14 +227,18 @@ func (m *Machine) TileAt(c fabric.Coord) *Tile { return m.Tiles[m.Fab.Index(c)] 
 // promptly rather than waiting on the garbage collector.
 func (m *Machine) Close() { m.Fab.Close() }
 
-// Step advances the whole machine one cycle: cores issue work, then the
-// fabric moves words one hop. With a sharded engine the cores step on
-// the fabric's own tile partition and its persistent worker pool, so
-// every core's fabric access (Send/Recv on its own tile) stays within
-// the shard that owns it; core state is tile-local, so the result is
-// identical to sequential stepping.
+// Step advances the whole machine one cycle: runnable cores issue work,
+// then the fabric moves words one hop. With a sharded engine the cores
+// step on the fabric's own tile partition and its persistent worker
+// pool, so every core's fabric access (Send/Recv on its own tile) stays
+// within the shard that owns it; core state is tile-local, so the
+// result is identical to sequential stepping. A fully quiescent machine
+// skips core dispatch entirely.
 func (m *Machine) Step() {
-	m.Fab.RunSharded(m.coreStep)
+	m.steps++
+	if m.anyRunnable() {
+		m.Fab.RunSharded(m.coreStep)
+	}
 	m.Fab.Step()
 }
 
@@ -166,8 +250,9 @@ func (m *Machine) Cycle() int64 { return m.Fab.Cycle() }
 func (m *Machine) Seconds(cycles int64) float64 { return float64(cycles) / m.Cfg.ClockHz }
 
 // RunUntil steps until done() is true, returning the cycles elapsed. It
-// fails if maxCycles elapse first or if the machine wedges (no core
-// progress and no fabric movement for an extended window).
+// fails if maxCycles elapse first or if the machine wedges (no runnable
+// core and no fabric movement for an extended window). The busy probe
+// is the O(shards) worklist check, not a scan of every core.
 func (m *Machine) RunUntil(done func() bool, maxCycles int64) (int64, error) {
 	start := m.Cycle()
 	idle := 0
@@ -177,13 +262,7 @@ func (m *Machine) RunUntil(done func() bool, maxCycles int64) (int64, error) {
 			return m.Cycle() - start, fmt.Errorf("wse: exceeded %d cycles", maxCycles)
 		}
 		movesBefore := m.Fab.Moves()
-		busy := false
-		for _, t := range m.Tiles {
-			if t.Core.busy() {
-				busy = true
-				break
-			}
-		}
+		busy := m.anyRunnable()
 		m.Step()
 		if m.Fab.Moves() == movesBefore && !busy {
 			idle++
@@ -197,13 +276,74 @@ func (m *Machine) RunUntil(done func() bool, maxCycles int64) (int64, error) {
 	return m.Cycle() - start, nil
 }
 
-// AllIdle reports whether every core has no runnable work and the fabric
-// is quiescent.
-func (m *Machine) AllIdle() bool {
-	for _, t := range m.Tiles {
-		if t.Core.busy() {
-			return false
+// Fingerprint hashes the complete architectural state of the machine:
+// the fabric fingerprint folded with every core's scheduler state —
+// task activation/block/run flags and program counters, thread-slot
+// occupancy, stream-buffer contents, send-gate state, and the datapath
+// counters. Two machines that evolved identically have equal
+// fingerprints every cycle regardless of stepping engine or worklist
+// order; FuzzMachineEquivalence and the engine-equivalence tests pin
+// the contract. FNV-1a, matching fabric.Fingerprint.
+func (m *Machine) Fingerprint() uint64 {
+	const prime64 = 1099511628211
+	h := m.Fab.Fingerprint()
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
 		}
 	}
-	return m.Fab.Quiescent()
+	for i, tl := range m.Tiles {
+		c := tl.Core
+		if c.current == nil && c.nthreads == 0 && len(c.tasks) == 0 &&
+			len(c.subColors) == 0 && c.busyCycles == 0 {
+			continue // never-programmed core: all-default state
+		}
+		mix(uint64(i))
+		for _, t := range c.tasks {
+			b := uint64(0)
+			if t.activated {
+				b |= 1
+			}
+			if t.blocked {
+				b |= 2
+			}
+			if t.running {
+				b |= 4
+			}
+			mix(b | uint64(t.pc)<<4)
+		}
+		thmask := uint64(0)
+		for s, th := range &c.threads {
+			if th != nil {
+				thmask |= 1 << s
+			}
+		}
+		if c.sentThisCycle {
+			thmask |= 1 << MaxThreads
+		}
+		mix(thmask)
+		for _, col := range c.subColors {
+			for _, b := range c.subs[col] {
+				mix(uint64(b.size))
+				for k := 0; k < b.size; k++ {
+					mix(uint64(b.buf[(b.head+k)%len(b.buf)].Bits()))
+				}
+			}
+		}
+		mix(uint64(c.busyCycles))
+		mix(uint64(c.lanesUsed))
+	}
+	return h
+}
+
+// AllIdle reports whether no core has runnable work and the fabric is
+// quiescent — O(shards) plus the fabric's router-queue scan. A core
+// holding deliverable words for a subscribed color counts as busy (it
+// still has deliveries to perform), which the polling engine's
+// per-core busy scan ignored; programs that complete drain those
+// within a few cycles, so the steady-state answer is unchanged.
+func (m *Machine) AllIdle() bool {
+	return !m.anyRunnable() && m.Fab.Quiescent()
 }
