@@ -140,6 +140,80 @@ func BenchmarkMachineStepIdle(b *testing.B) {
 	benchMachineStep(b, [][2]int{{128, 128}, {602, 595}}, nil)
 }
 
+// BenchmarkSpMV2DMachine measures one application of the wafer-resident
+// 2D block-halo SpMV (the §IV-2 mapping under cycle simulation): host
+// time per application plus the simulated cycle count. Sub-names are
+// size/engine, matching the bench-regression gate's naming convention
+// (no trailing -<digits>; see benchMachineStep).
+func BenchmarkSpMV2DMachine(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	for _, tc := range []struct{ tiles, blk int }{{8, 4}, {16, 4}} {
+		m := stencil.Mesh2D{NX: tc.tiles * tc.blk, NY: tc.tiles * tc.blk}
+		norm, _ := stencil.Random9(m, 1.4, rng).Normalize9()
+		src := make([]fp16.Float16, m.N())
+		for i := range src {
+			src[i] = fp16.FromFloat64(float64(i%13)/13 - 0.5)
+		}
+		for _, workers := range []int{0, 8} {
+			name := "seq"
+			if workers > 1 {
+				name = "sharded"
+			}
+			b.Run(fmt.Sprintf("%dx%db%d/%s", tc.tiles, tc.tiles, tc.blk, name), func(b *testing.B) {
+				cfg := wse.CS1(tc.tiles, tc.tiles)
+				cfg.Workers = workers
+				mach := wse.New(cfg)
+				defer mach.Close()
+				p, err := kernels.NewSpMV2DMachine(mach, norm, tc.blk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var cycles int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.LoadVector(src)
+					c, err := p.Run(1 << 22)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = c
+				}
+				b.ReportMetric(float64(cycles), "sim-cycles/application")
+			})
+		}
+	}
+}
+
+// BenchmarkCavity2DWSEIteration measures one SIMPLE iteration of the 2D
+// cavity with the pressure-correction BiCGStab cycle-simulated on an
+// 8×8 fabric — the cavity-on-wafer hot path (host momentum solves plus
+// 20 wafer solver iterations per sweep).
+func BenchmarkCavity2DWSEIteration(b *testing.B) {
+	for _, workers := range []int{0, 8} {
+		name := "seq"
+		if workers > 1 {
+			name = "sharded"
+		}
+		b.Run("16x16b2/"+name, func(b *testing.B) {
+			cfg := wse.CS1(8, 8)
+			cfg.Workers = workers
+			mach := wse.New(cfg)
+			defer mach.Close()
+			c := mfix.NewCavity2D(16, 100)
+			c.Pressure = kernels.NewWafer2DBackend(mach, 2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			be := c.Pressure.(*kernels.Wafer2DBackend)
+			b.ReportMetric(float64(be.Cycles.Total())/float64(be.Solves), "sim-cycles/pressure-solve")
+		})
+	}
+}
+
 // BenchmarkTable1_OperationCounts measures one mixed-precision BiCGStab
 // iteration and reports the Table I operation counts per meshpoint.
 func BenchmarkTable1_OperationCounts(b *testing.B) {

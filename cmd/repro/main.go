@@ -13,7 +13,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table1|headline|allreduce|paperallreduce|fig7|fig8|fig9|table2|spmv2d|fig1|memory|routing|all")
+		"experiment: table1|headline|allreduce|paperallreduce|fig7|fig8|fig9|table2|spmv2d|cavity2d|fig1|memory|routing|all")
 	fig9N := flag.Int("fig9n", 25, "fig9 mesh scale: runs 25×100×25 by default (paper: 100×400×100)")
 	flag.Parse()
 
@@ -32,6 +32,10 @@ func main() {
 		{"fig9", func() string { return core.Fig9Report(*fig9N, *fig9N*4, *fig9N, 15) }},
 		{"table2", core.Table2Report},
 		{"spmv2d", core.SpMV2DReport},
+		// Cycle-simulates the Table II cavity's pressure solves on a
+		// 8×8 wafer fabric (seconds); cmd/cavity -backend=wse scales the
+		// same path to the 128×128 fabric.
+		{"cavity2d", core.Cavity2DReport},
 		{"fig1", core.Fig1Report},
 		{"memory", core.MemoryReport},
 		{"routing", core.RoutingReport},

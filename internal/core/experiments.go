@@ -182,9 +182,9 @@ func PaperAllReduceReport() string {
 	}
 	fmt.Fprintf(&b, "  %d×%d: %d cycles = %.2f µs (paper: < 1.5 µs)\n",
 		r.W, r.H, r.Cycles, r.Microseconds())
-	fmt.Fprintf(&b, "  diameter %d, ratio %.3f (paper: ~1.1)\n",
+	fmt.Fprintf(&b, "  diameter %d, ratio %.3f (paper: ~1.1; odd-height wafer serializes its single center row)\n",
 		r.Diameter, float64(r.Cycles)/float64(r.Diameter))
-	fmt.Fprintf(&b, "  model said %.0f cycles; measurement replaces extrapolation\n",
+	fmt.Fprintf(&b, "  parity-aware model: %.0f cycles (calibrated to this measurement)\n",
 		perfmodel.CS1().AllReduceCycles())
 	return b.String()
 }
@@ -197,6 +197,7 @@ func AllReduceReport() string {
 		mach := wse.New(wse.CS1(dims[0], dims[1]))
 		ar, err := kernels.NewAllReduce(mach, 0)
 		if err != nil {
+			mach.Close()
 			return err.Error()
 		}
 		vals := make([]float32, dims[0]*dims[1])
@@ -204,6 +205,7 @@ func AllReduceReport() string {
 			vals[i] = float32(i % 3)
 		}
 		res, err := ar.Run(vals, 1<<20)
+		mach.Close()
 		if err != nil {
 			return err.Error()
 		}
@@ -212,7 +214,7 @@ func AllReduceReport() string {
 			dims[0], dims[1], res.Cycles, diam, float64(res.Cycles)/float64(diam))
 	}
 	w := perfmodel.CS1()
-	fmt.Fprintf(&b, "  extrapolated 602×595: %.0f cycles = %.2f µs (paper: < 1.5 µs, ~diameter+10%%)\n",
+	fmt.Fprintf(&b, "  modelled 602×595: %.0f cycles = %.2f µs (paper: < 1.5 µs; ~1.25× diameter — odd height serializes the single center row)\n",
 		w.AllReduceCycles(), w.AllReduceSeconds()*1e6)
 	return b.String()
 }
@@ -378,6 +380,7 @@ func MemoryReport() string {
 	m := stencil.Mesh{NX: 1, NY: 1, NZ: 1536}
 	norm, _ := stencil.Poisson(m, 1).Normalize()
 	mach := wse.New(wse.CS1(1, 1))
+	defer mach.Close()
 	if _, err := kernels.NewBiCGStabWSE(mach, stencil.NewOp7Half(norm)); err != nil {
 		fmt.Fprintf(&b, "  simulator layout: DOES NOT FIT: %v\n", err)
 	} else {

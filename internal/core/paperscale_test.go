@@ -1,7 +1,10 @@
 package core
 
 import (
+	"math"
 	"testing"
+
+	"repro/internal/perfmodel"
 )
 
 // TestPaperScaleAllReduce cycle-simulates the Figure 6 AllReduce on the
@@ -56,6 +59,16 @@ func TestPaperScaleAllReduce(t *testing.T) {
 	}
 	if us := seq.Microseconds(); us >= 1.5 {
 		t.Errorf("simulated AllReduce %.2f µs; paper claims < 1.5 µs", us)
+	}
+
+	// The analytic model must agree with this live measurement within 1%
+	// (the other half of the drift pin; perfmodel's own test pins the
+	// constant). The old diameter+7 model failed exactly here: it was
+	// calibrated on even×even fabrics and missed the odd-height wafer.
+	model := perfmodel.CS1().AllReduceCycles()
+	if rel := math.Abs(model-float64(seq.Cycles)) / float64(seq.Cycles); rel > 0.01 {
+		t.Errorf("perfmodel.AllReduceCycles %g vs simulated %d cycles (off %.2f%%) — recalibrate the model",
+			model, seq.Cycles, 100*rel)
 	}
 
 	// Exactness of the reduction tree against a float64 reference is a

@@ -2,11 +2,9 @@ package kernels
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/fp16"
 	"repro/internal/stencil"
-	"repro/internal/tensor"
 	"repro/internal/wse"
 )
 
@@ -27,27 +25,15 @@ func (p PhaseCycles) Total() int64 { return p.SpMV + p.Dot + p.AllReduce + p.Axp
 // of the six matrix diagonals and the solver vectors in fp16, dots use
 // the mixed-precision inner-product instruction with partials combined by
 // the Figure 6 AllReduce at 32 bits, and every vector update runs as a
-// SIMD tensor instruction.
-//
-// The driver sequences phases globally (the real machine chains them with
-// local task triggers; the difference is a few cycles of task-start
-// latency per phase, absorbed into the performance model's overhead
-// calibration). Host-side copies between the solver vectors and the SpMV
-// program's iterate/result buffers model descriptor re-aliasing and cost
-// no cycles.
+// SIMD tensor instruction. The Algorithm 1 control flow lives in the
+// shared wseBiCG engine (wsebicg.go), which the 2D block-halo solver
+// (BiCGStab2DWSE) reuses with a different SpMV and tile layout.
 type BiCGStabWSE struct {
 	M    *wse.Machine
 	Mesh stencil.Mesh
 
 	spmv *SpMV3D
-	ar   *AllReduce
-
-	// per-tile solver vector offsets (each Z elements)
-	offX, offR0, offR, offP, offS, offQ, offY []int
-
-	partial   []float32 // per-tile dot partials
-	phaseTask []*wse.Task
-	phaseDone []bool
+	eng  *wseBiCG
 }
 
 // NewBiCGStabWSE builds the solver for a unit-diagonal operator whose
@@ -57,50 +43,10 @@ func NewBiCGStabWSE(m *wse.Machine, op *stencil.Op7Half) (*BiCGStabWSE, error) {
 	if err != nil {
 		return nil, err
 	}
-	ar, err := NewAllReduce(m, NumStencilColors)
+	b := &BiCGStabWSE{M: m, Mesh: op.M, spmv: spmv}
+	b.eng, err = newWSEBiCG(m, op.M.NZ, NumStencilColors, b.runSpMV)
 	if err != nil {
 		return nil, err
-	}
-	b := &BiCGStabWSE{M: m, Mesh: op.M, spmv: spmv, ar: ar}
-	n := m.Cfg.Cores()
-	z := op.M.NZ
-	b.offX = make([]int, n)
-	b.offR0 = make([]int, n)
-	b.offR = make([]int, n)
-	b.offP = make([]int, n)
-	b.offS = make([]int, n)
-	b.offQ = make([]int, n)
-	b.offY = make([]int, n)
-	b.partial = make([]float32, n)
-	for i, t := range m.Tiles {
-		var err error
-		alloc := func(name string, off *[]int) {
-			if err != nil {
-				return
-			}
-			(*off)[i], err = t.Arena.Alloc(name, z)
-		}
-		alloc("x", &b.offX)
-		alloc("r0", &b.offR0)
-		alloc("r", &b.offR)
-		alloc("p", &b.offP)
-		alloc("s", &b.offS)
-		alloc("q", &b.offQ)
-		alloc("y", &b.offY)
-		if err != nil {
-			return nil, fmt.Errorf("kernels: tile %v: %v", t.Coord, err)
-		}
-	}
-	// One reusable phase task per tile: the driver swaps in each phase's
-	// instruction and re-activates it.
-	b.phaseTask = make([]*wse.Task, n)
-	b.phaseDone = make([]bool, n)
-	for i, t := range m.Tiles {
-		i := i
-		task := &wse.Task{Name: "phase"}
-		task.OnComplete = func(c *wse.Core) { b.phaseDone[i] = true }
-		t.Core.AddTask(task)
-		b.phaseTask[i] = task
 	}
 	return b, nil
 }
@@ -133,150 +79,10 @@ func (w *BiCGStabWSE) Solve(bvec []fp16.Float16, opts WSEOptions) ([]fp16.Float1
 	if len(bvec) != m.N() {
 		return nil, WSEStats{}, fmt.Errorf("kernels: rhs length %d, want %d", len(bvec), m.N())
 	}
-	if opts.MaxIter <= 0 {
-		opts.MaxIter = 100
-	}
-	z := m.NZ
-
-	// Initialize: x = 0, r = r0 = p = b (zero initial guess).
-	for i, t := range w.M.Tiles {
-		a := t.Arena
-		for zz := 0; zz < z; zz++ {
-			v := bvec[m.Index(t.Coord.X, t.Coord.Y, zz)]
-			a.Set(w.offX[i]+zz, fp16.Zero)
-			a.Set(w.offR0[i]+zz, v)
-			a.Set(w.offR[i]+zz, v)
-			a.Set(w.offP[i]+zz, v)
-		}
-	}
-	st := WSEStats{}
-
-	bb, _, err := w.dotAllReduce(w.offR0, w.offR0) // ‖b‖² (setup, not counted)
-	if err != nil {
-		return nil, st, err
-	}
-	bnorm := math.Sqrt(float64(bb))
-	if bnorm == 0 {
-		return nil, st, fmt.Errorf("kernels: zero right-hand side")
-	}
-	rho := float64(bb) // (r0, r0)
-
-	finish := func() ([]fp16.Float16, WSEStats, error) {
-		if st.Iterations > 0 {
-			it := int64(st.Iterations)
-			st.PerIteration = PhaseCycles{
-				SpMV:      st.Cycles.SpMV / it,
-				Dot:       st.Cycles.Dot / it,
-				AllReduce: st.Cycles.AllReduce / it,
-				Axpy:      st.Cycles.Axpy / it,
-			}
-		}
-		out := make([]fp16.Float16, m.N())
-		for i, t := range w.M.Tiles {
-			for zz := 0; zz < z; zz++ {
-				out[m.Index(t.Coord.X, t.Coord.Y, zz)] = t.Arena.At(w.offX[i] + zz)
-			}
-		}
-		return out, st, nil
-	}
-
-	for it := 0; it < opts.MaxIter; it++ {
-		st.Iterations = it + 1
-
-		// s := A p
-		if err := w.runSpMV(w.offP, w.offS, &st.Cycles.SpMV); err != nil {
-			return nil, st, err
-		}
-		// α := (r0, r) / (r0, s)
-		r0s, cyc, err := w.dotAllReduce(w.offR0, w.offS)
-		if err != nil {
-			return nil, st, err
-		}
-		w.accountDot(&st.Cycles, cyc)
-		if r0s == 0 {
-			st.Breakdown = "r0·Ap = 0"
-			return finish()
-		}
-		alpha := rho / float64(r0s)
-
-		// q := r − α s
-		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
-			return &wse.MemOp{Kind: wse.OpFMA, Arena: t.Arena, S: fp16.FromFloat64(-alpha),
-				Dst: tensor.Vec1D(w.offQ[i], z), A: tensor.Vec1D(w.offS[i], z), B: tensor.Vec1D(w.offR[i], z)}
-		})
-
-		// y := A q
-		if err := w.runSpMV(w.offQ, w.offY, &st.Cycles.SpMV); err != nil {
-			return nil, st, err
-		}
-		// ω := (q, y) / (y, y)
-		qy, cyc1, err := w.dotAllReduce(w.offQ, w.offY)
-		if err != nil {
-			return nil, st, err
-		}
-		w.accountDot(&st.Cycles, cyc1)
-		yy, cyc2, err := w.dotAllReduce(w.offY, w.offY)
-		if err != nil {
-			return nil, st, err
-		}
-		w.accountDot(&st.Cycles, cyc2)
-		if yy == 0 {
-			w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
-				return &wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(alpha),
-					Dst: tensor.Vec1D(w.offX[i], z), A: tensor.Vec1D(w.offP[i], z)}
-			})
-			st.Breakdown = "y·y = 0"
-			return finish()
-		}
-		omega := float64(qy) / float64(yy)
-
-		// x := x + α p + ω q  (two AXPYs)
-		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
-			return &wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(alpha),
-				Dst: tensor.Vec1D(w.offX[i], z), A: tensor.Vec1D(w.offP[i], z)}
-		})
-		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
-			return &wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(omega),
-				Dst: tensor.Vec1D(w.offX[i], z), A: tensor.Vec1D(w.offQ[i], z)}
-		})
-		// r := q − ω y
-		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
-			return &wse.MemOp{Kind: wse.OpFMA, Arena: t.Arena, S: fp16.FromFloat64(-omega),
-				Dst: tensor.Vec1D(w.offR[i], z), A: tensor.Vec1D(w.offY[i], z), B: tensor.Vec1D(w.offQ[i], z)}
-		})
-
-		rel := w.residualNorm(w.offR) / bnorm
-		st.History = append(st.History, rel)
-		if opts.Tol > 0 && rel <= opts.Tol {
-			st.Converged = true
-			return finish()
-		}
-
-		// β := (α/ω) (r0, r_new)/(r0, r_old)
-		rr, cyc3, err := w.dotAllReduce(w.offR0, w.offR)
-		if err != nil {
-			return nil, st, err
-		}
-		w.accountDot(&st.Cycles, cyc3)
-		if rho == 0 || omega == 0 {
-			st.Breakdown = "rho or omega = 0"
-			return finish()
-		}
-		beta := (alpha / omega) * (float64(rr) / rho)
-		rho = float64(rr)
-
-		// p := r + β (p − ω s)  (two AXPYs)
-		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
-			return &wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(-omega),
-				Dst: tensor.Vec1D(w.offP[i], z), A: tensor.Vec1D(w.offS[i], z)}
-		})
-		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
-			return &wse.MemOp{Kind: wse.OpXPAY, Arena: t.Arena, S: fp16.FromFloat64(beta),
-				Dst: tensor.Vec1D(w.offP[i], z), A: tensor.Vec1D(w.offR[i], z)}
-		})
-	}
-	st.Converged = opts.Tol > 0 && len(st.History) > 0 && st.History[len(st.History)-1] <= opts.Tol
-	return finish()
+	return w.eng.solve(bvec, func(tile, elem int) int {
+		c := w.M.Tiles[tile].Coord
+		return m.Index(c.X, c.Y, elem)
+	}, opts)
 }
 
 // runSpMV copies src into the SpMV iterate, applies the operator on the
@@ -302,76 +108,6 @@ func (w *BiCGStabWSE) runSpMV(src, dst []int, acc *int64) error {
 		}
 	}
 	return nil
-}
-
-// dotAllReduce runs the local mixed-precision dot on every tile, then the
-// wafer AllReduce over the float32 partials. It returns the reduced value
-// and the combined cycles (local dot phase + allreduce).
-func (w *BiCGStabWSE) dotAllReduce(a, b []int) (float32, [2]int64, error) {
-	z := w.Mesh.NZ
-	instrs := make([]wse.Instr, len(w.M.Tiles))
-	for i, t := range w.M.Tiles {
-		w.partial[i] = 0
-		instrs[i] = &wse.DotMixed{
-			A: tensor.Vec1D(a[i], z), B: tensor.Vec1D(b[i], z),
-			Arena: t.Arena, Out: &w.partial[i],
-		}
-	}
-	dotCycles := w.runPhase(instrs)
-	res, err := w.ar.Run(w.partial, 1<<20)
-	if err != nil {
-		return 0, [2]int64{}, err
-	}
-	return res.Sum, [2]int64{dotCycles, res.Cycles}, nil
-}
-
-func (w *BiCGStabWSE) accountDot(c *PhaseCycles, cyc [2]int64) {
-	c.Dot += cyc[0]
-	c.AllReduce += cyc[1]
-}
-
-// runAxpyPhase runs one AXPY-class instruction on every tile.
-func (w *BiCGStabWSE) runAxpyPhase(acc *int64, build func(i int, t *wse.Tile) wse.Instr) {
-	instrs := make([]wse.Instr, len(w.M.Tiles))
-	for i, t := range w.M.Tiles {
-		instrs[i] = build(i, t)
-	}
-	*acc += w.runPhase(instrs)
-}
-
-// runPhase executes one instruction per tile as a task and steps the
-// machine until all complete.
-func (w *BiCGStabWSE) runPhase(instrs []wse.Instr) int64 {
-	for i, t := range w.M.Tiles {
-		w.phaseDone[i] = false
-		w.phaseTask[i].Instrs = []wse.Instr{instrs[i]}
-		t.Core.Activate(w.phaseTask[i])
-	}
-	cycles, err := w.M.RunUntil(func() bool {
-		for _, d := range w.phaseDone {
-			if !d {
-				return false
-			}
-		}
-		return true
-	}, 1<<24)
-	if err != nil {
-		panic(err) // local instructions cannot wedge; a failure is a simulator bug
-	}
-	return cycles
-}
-
-// residualNorm computes ‖r‖₂ in float64 (diagnostic only).
-func (w *BiCGStabWSE) residualNorm(off []int) float64 {
-	var s float64
-	z := w.Mesh.NZ
-	for i, t := range w.M.Tiles {
-		for zz := 0; zz < z; zz++ {
-			v := t.Arena.At(off[i] + zz).Float64()
-			s += v * v
-		}
-	}
-	return math.Sqrt(s)
 }
 
 // SolutionResidual recomputes ‖b − A x‖/‖b‖ in float64 against the

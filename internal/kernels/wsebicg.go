@@ -1,0 +1,312 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fabric"
+	"repro/internal/fp16"
+	"repro/internal/tensor"
+	"repro/internal/wse"
+)
+
+// wseBiCG is the wafer BiCGStab engine shared by the 3D (Listing 1) and
+// 2D (block-halo) solvers: the Algorithm 1 control flow over per-tile
+// solver vectors of length n, with a pluggable wafer SpMV. Dots run as
+// the mixed-precision inner-product instruction on every tile with
+// partials combined by the Figure 6 AllReduce at 32 bits; every vector
+// update runs as a SIMD tensor instruction.
+//
+// The driver sequences phases globally (the real machine chains them
+// with local task triggers; the difference is a few cycles of
+// task-start latency per phase, absorbed into the performance model's
+// overhead calibration). Host-side copies between the solver vectors
+// and the SpMV program's iterate/result buffers model descriptor
+// re-aliasing and cost no cycles.
+type wseBiCG struct {
+	m *wse.Machine
+	n int // per-tile vector length (Z for the 3D mapping, b² for 2D)
+
+	// spmv applies the operator: src and dst are per-tile arena offsets
+	// of n-element vectors; the implementation accumulates its simulated
+	// cycles into acc.
+	spmv func(src, dst []int, acc *int64) error
+
+	ar *AllReduce
+
+	// per-tile solver vector offsets (each n elements)
+	offX, offR0, offR, offP, offS, offQ, offY []int
+
+	partial   []float32 // per-tile dot partials
+	phaseTask []*wse.Task
+	phaseDone []bool
+}
+
+// newWSEBiCG allocates the seven solver vectors on every tile, the
+// AllReduce routing (six colors starting at arBase) and the reusable
+// per-tile phase task.
+func newWSEBiCG(m *wse.Machine, perTile int, arBase fabric.Color, spmv func(src, dst []int, acc *int64) error) (*wseBiCG, error) {
+	ar, err := NewAllReduce(m, arBase)
+	if err != nil {
+		return nil, err
+	}
+	b := &wseBiCG{m: m, n: perTile, ar: ar, spmv: spmv}
+	n := m.Cfg.Cores()
+	b.offX = make([]int, n)
+	b.offR0 = make([]int, n)
+	b.offR = make([]int, n)
+	b.offP = make([]int, n)
+	b.offS = make([]int, n)
+	b.offQ = make([]int, n)
+	b.offY = make([]int, n)
+	b.partial = make([]float32, n)
+	for i, t := range m.Tiles {
+		var err error
+		alloc := func(name string, off *[]int) {
+			if err != nil {
+				return
+			}
+			(*off)[i], err = t.Arena.Alloc(name, perTile)
+		}
+		alloc("x", &b.offX)
+		alloc("r0", &b.offR0)
+		alloc("r", &b.offR)
+		alloc("p", &b.offP)
+		alloc("s", &b.offS)
+		alloc("q", &b.offQ)
+		alloc("y", &b.offY)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: tile %v: %v", t.Coord, err)
+		}
+	}
+	// One reusable phase task per tile: the driver swaps in each phase's
+	// instruction and re-activates it.
+	b.phaseTask = make([]*wse.Task, n)
+	b.phaseDone = make([]bool, n)
+	for i, t := range m.Tiles {
+		i := i
+		task := &wse.Task{Name: "phase"}
+		task.OnComplete = func(c *wse.Core) { b.phaseDone[i] = true }
+		t.Core.AddTask(task)
+		b.phaseTask[i] = task
+	}
+	return b, nil
+}
+
+// solve runs BiCGStab for the right-hand side bvec with a zero initial
+// guess. index maps (tile, element) to the global vector position — the
+// Z-column layout for the 3D mapping, the b×b block layout for 2D.
+func (w *wseBiCG) solve(bvec []fp16.Float16, index func(tile, elem int) int, opts WSEOptions) ([]fp16.Float16, WSEStats, error) {
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 100
+	}
+	n := w.n
+
+	// Initialize: x = 0, r = r0 = p = b (zero initial guess).
+	for i, t := range w.m.Tiles {
+		a := t.Arena
+		for e := 0; e < n; e++ {
+			v := bvec[index(i, e)]
+			a.Set(w.offX[i]+e, fp16.Zero)
+			a.Set(w.offR0[i]+e, v)
+			a.Set(w.offR[i]+e, v)
+			a.Set(w.offP[i]+e, v)
+		}
+	}
+	st := WSEStats{}
+
+	bb, _, err := w.dotAllReduce(w.offR0, w.offR0) // ‖b‖² (setup, not counted)
+	if err != nil {
+		return nil, st, err
+	}
+	bnorm := math.Sqrt(float64(bb))
+	if bnorm == 0 {
+		return nil, st, fmt.Errorf("kernels: zero right-hand side")
+	}
+	rho := float64(bb) // (r0, r0)
+
+	finish := func() ([]fp16.Float16, WSEStats, error) {
+		if st.Iterations > 0 {
+			it := int64(st.Iterations)
+			st.PerIteration = PhaseCycles{
+				SpMV:      st.Cycles.SpMV / it,
+				Dot:       st.Cycles.Dot / it,
+				AllReduce: st.Cycles.AllReduce / it,
+				Axpy:      st.Cycles.Axpy / it,
+			}
+		}
+		out := make([]fp16.Float16, len(bvec))
+		for i, t := range w.m.Tiles {
+			for e := 0; e < n; e++ {
+				out[index(i, e)] = t.Arena.At(w.offX[i] + e)
+			}
+		}
+		return out, st, nil
+	}
+
+	for it := 0; it < opts.MaxIter; it++ {
+		st.Iterations = it + 1
+
+		// s := A p
+		if err := w.spmv(w.offP, w.offS, &st.Cycles.SpMV); err != nil {
+			return nil, st, err
+		}
+		// α := (r0, r) / (r0, s)
+		r0s, cyc, err := w.dotAllReduce(w.offR0, w.offS)
+		if err != nil {
+			return nil, st, err
+		}
+		w.accountDot(&st.Cycles, cyc)
+		if r0s == 0 {
+			st.Breakdown = "r0·Ap = 0"
+			return finish()
+		}
+		alpha := rho / float64(r0s)
+
+		// q := r − α s
+		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
+			return &wse.MemOp{Kind: wse.OpFMA, Arena: t.Arena, S: fp16.FromFloat64(-alpha),
+				Dst: tensor.Vec1D(w.offQ[i], n), A: tensor.Vec1D(w.offS[i], n), B: tensor.Vec1D(w.offR[i], n)}
+		})
+
+		// y := A q
+		if err := w.spmv(w.offQ, w.offY, &st.Cycles.SpMV); err != nil {
+			return nil, st, err
+		}
+		// ω := (q, y) / (y, y)
+		qy, cyc1, err := w.dotAllReduce(w.offQ, w.offY)
+		if err != nil {
+			return nil, st, err
+		}
+		w.accountDot(&st.Cycles, cyc1)
+		yy, cyc2, err := w.dotAllReduce(w.offY, w.offY)
+		if err != nil {
+			return nil, st, err
+		}
+		w.accountDot(&st.Cycles, cyc2)
+		if yy == 0 {
+			w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
+				return &wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(alpha),
+					Dst: tensor.Vec1D(w.offX[i], n), A: tensor.Vec1D(w.offP[i], n)}
+			})
+			st.Breakdown = "y·y = 0"
+			return finish()
+		}
+		omega := float64(qy) / float64(yy)
+
+		// x := x + α p + ω q  (two AXPYs)
+		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
+			return &wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(alpha),
+				Dst: tensor.Vec1D(w.offX[i], n), A: tensor.Vec1D(w.offP[i], n)}
+		})
+		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
+			return &wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(omega),
+				Dst: tensor.Vec1D(w.offX[i], n), A: tensor.Vec1D(w.offQ[i], n)}
+		})
+		// r := q − ω y
+		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
+			return &wse.MemOp{Kind: wse.OpFMA, Arena: t.Arena, S: fp16.FromFloat64(-omega),
+				Dst: tensor.Vec1D(w.offR[i], n), A: tensor.Vec1D(w.offY[i], n), B: tensor.Vec1D(w.offQ[i], n)}
+		})
+
+		rel := w.residualNorm(w.offR) / bnorm
+		st.History = append(st.History, rel)
+		if opts.Tol > 0 && rel <= opts.Tol {
+			st.Converged = true
+			return finish()
+		}
+
+		// β := (α/ω) (r0, r_new)/(r0, r_old)
+		rr, cyc3, err := w.dotAllReduce(w.offR0, w.offR)
+		if err != nil {
+			return nil, st, err
+		}
+		w.accountDot(&st.Cycles, cyc3)
+		if rho == 0 || omega == 0 {
+			st.Breakdown = "rho or omega = 0"
+			return finish()
+		}
+		beta := (alpha / omega) * (float64(rr) / rho)
+		rho = float64(rr)
+
+		// p := r + β (p − ω s)  (two AXPYs)
+		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
+			return &wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(-omega),
+				Dst: tensor.Vec1D(w.offP[i], n), A: tensor.Vec1D(w.offS[i], n)}
+		})
+		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
+			return &wse.MemOp{Kind: wse.OpXPAY, Arena: t.Arena, S: fp16.FromFloat64(beta),
+				Dst: tensor.Vec1D(w.offP[i], n), A: tensor.Vec1D(w.offR[i], n)}
+		})
+	}
+	st.Converged = opts.Tol > 0 && len(st.History) > 0 && st.History[len(st.History)-1] <= opts.Tol
+	return finish()
+}
+
+// dotAllReduce runs the local mixed-precision dot on every tile, then
+// the wafer AllReduce over the float32 partials. It returns the reduced
+// value and the combined cycles (local dot phase + allreduce).
+func (w *wseBiCG) dotAllReduce(a, b []int) (float32, [2]int64, error) {
+	instrs := make([]wse.Instr, len(w.m.Tiles))
+	for i, t := range w.m.Tiles {
+		w.partial[i] = 0
+		instrs[i] = &wse.DotMixed{
+			A: tensor.Vec1D(a[i], w.n), B: tensor.Vec1D(b[i], w.n),
+			Arena: t.Arena, Out: &w.partial[i],
+		}
+	}
+	dotCycles := w.runPhase(instrs)
+	res, err := w.ar.Run(w.partial, 1<<20)
+	if err != nil {
+		return 0, [2]int64{}, err
+	}
+	return res.Sum, [2]int64{dotCycles, res.Cycles}, nil
+}
+
+func (w *wseBiCG) accountDot(c *PhaseCycles, cyc [2]int64) {
+	c.Dot += cyc[0]
+	c.AllReduce += cyc[1]
+}
+
+// runAxpyPhase runs one AXPY-class instruction on every tile.
+func (w *wseBiCG) runAxpyPhase(acc *int64, build func(i int, t *wse.Tile) wse.Instr) {
+	instrs := make([]wse.Instr, len(w.m.Tiles))
+	for i, t := range w.m.Tiles {
+		instrs[i] = build(i, t)
+	}
+	*acc += w.runPhase(instrs)
+}
+
+// runPhase executes one instruction per tile as a task and steps the
+// machine until all complete.
+func (w *wseBiCG) runPhase(instrs []wse.Instr) int64 {
+	for i, t := range w.m.Tiles {
+		w.phaseDone[i] = false
+		w.phaseTask[i].Instrs = []wse.Instr{instrs[i]}
+		t.Core.Activate(w.phaseTask[i])
+	}
+	cycles, err := w.m.RunUntil(func() bool {
+		for _, d := range w.phaseDone {
+			if !d {
+				return false
+			}
+		}
+		return true
+	}, 1<<24)
+	if err != nil {
+		panic(err) // local instructions cannot wedge; a failure is a simulator bug
+	}
+	return cycles
+}
+
+// residualNorm computes ‖r‖₂ in float64 (diagnostic only).
+func (w *wseBiCG) residualNorm(off []int) float64 {
+	var s float64
+	for i, t := range w.m.Tiles {
+		for e := 0; e < w.n; e++ {
+			v := t.Arena.At(off[i] + e).Float64()
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}

@@ -72,7 +72,15 @@ func TestSimModelPredictsSimulator(t *testing.T) {
 }
 
 func TestAllReduceModelMatchesSimulator(t *testing.T) {
-	for _, dims := range [][2]int{{8, 8}, {16, 16}, {32, 24}, {48, 48}, {10, 30}} {
+	// The parity-aware model must reproduce the cycle simulator exactly —
+	// including odd-dimension fabrics, where a single central row/column
+	// serializes both halves of its reduction (the case the old
+	// diameter+7 model missed, and the parity class the 602×595 paper
+	// wafer falls into with h = 595).
+	for _, dims := range [][2]int{
+		{8, 8}, {16, 16}, {32, 24}, {48, 48}, {10, 30}, // even × even
+		{17, 16}, {33, 24}, {9, 9}, {32, 25}, {47, 48}, {49, 49}, // odd shapes
+	} {
 		mach := wse.New(wse.CS1(dims[0], dims[1]))
 		ar, err := kernels.NewAllReduce(mach, 0)
 		if err != nil {
@@ -87,23 +95,40 @@ func TestAllReduceModelMatchesSimulator(t *testing.T) {
 			t.Fatal(err)
 		}
 		w := WSE{W: dims[0], H: dims[1], ClockHz: 1.1e9, SIMD: 4}
-		if got, want := w.AllReduceCycles(), float64(res.Cycles); math.Abs(got-want) > 3 {
+		if got, want := w.AllReduceCycles(), float64(res.Cycles); got != want {
 			t.Errorf("%dx%d: model %g cycles, simulator %g", dims[0], dims[1], got, want)
 		}
 	}
 }
 
 func TestAllReduceWaferLatency(t *testing.T) {
-	// The full-wafer AllReduce must come in under the paper's 1.5 µs and
-	// within ~10% of the diameter.
+	// The full-wafer AllReduce must come in under the paper's 1.5 µs. The
+	// measured shape is ~1.25× the diameter — above the paper's ~1.1×
+	// because the 595-row fabric has a single central row serializing
+	// both column halves (the paper's ~1.1× holds on even×even fabrics).
 	w := CS1()
 	sec := w.AllReduceSeconds()
 	if sec >= 1.5e-6 {
 		t.Errorf("wafer AllReduce %.3g s, paper bound 1.5 µs", sec)
 	}
 	diam := float64(w.W + w.H - 2)
-	if ratio := w.AllReduceCycles() / diam; ratio > 1.1 {
-		t.Errorf("AllReduce/diameter = %.3f, paper says about 1.1", ratio)
+	ratio := w.AllReduceCycles() / diam
+	if ratio < 1.0 || ratio > 1.3 {
+		t.Errorf("AllReduce/diameter = %.3f, want ~1.25 (sub-diameter is impossible)", ratio)
+	}
+}
+
+func TestAllReducePaperScalePin(t *testing.T) {
+	// Pin the model to the cycle-simulated 602×595 measurement (1497
+	// cycles, TestPaperScaleAllReduce in internal/core) within 1%, so the
+	// model and the simulator can never silently drift apart again. The
+	// simulator side of the same contract lives in the paper-scale test,
+	// which compares its live measurement against this model.
+	const measured = 1497
+	got := CS1().AllReduceCycles()
+	if rel := math.Abs(got-measured) / measured; rel > 0.01 {
+		t.Errorf("AllReduceCycles(602x595) = %g, simulator measures %d (off %.2f%%)",
+			got, measured, 100*rel)
 	}
 }
 

@@ -104,10 +104,12 @@ type Vector interface {
 	Float64() []float64
 }
 
-// Operator applies a unit-diagonal 7-point stencil in context precision.
+// Operator applies a unit-diagonal stencil in context precision. The
+// solvers only ever apply it — mesh geometry stays with the caller — so
+// both 7-point 3D operators and 9-point 2D operators (NewOperator2D)
+// fit behind it.
 type Operator interface {
 	Apply(dst, src Vector)
-	Mesh() stencil.Mesh
 }
 
 // Context bundles a storage precision with its operation accounting.
@@ -204,8 +206,6 @@ type f64Op struct {
 	op  *stencil.Op7
 	ctx *F64
 }
-
-func (o *f64Op) Mesh() stencil.Mesh { return o.op.M }
 
 func (o *f64Op) Apply(dst, src Vector) {
 	o.op.Apply(dst.(*f64Vec).d, src.(*f64Vec).d)
@@ -337,8 +337,6 @@ type f32Op struct {
 	ctx                    *F32
 }
 
-func (o *f32Op) Mesh() stencil.Mesh { return o.m }
-
 func (o *f32Op) Apply(dst, src Vector) {
 	d, s := dst.(*f32Vec).d, src.(*f32Vec).d
 	m := o.m
@@ -463,8 +461,6 @@ type mixedOp struct {
 	h   *stencil.Op7Half
 	ctx *Mixed
 }
-
-func (o *mixedOp) Mesh() stencil.Mesh { return o.h.M }
 
 func (o *mixedOp) Apply(dst, src Vector) {
 	o.h.Apply(dst.(*mixedVec).d, src.(*mixedVec).d)

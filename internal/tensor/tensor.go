@@ -56,6 +56,17 @@ func Strided(base, n, stride int) Descriptor {
 	}
 }
 
+// Mat2D returns a descriptor over a rows×cols subtensor embedded in a
+// row-major region with the given row stride: rows outermost, columns
+// contiguous — the .shape={b,b} block operands of the 2D mapping.
+func Mat2D(base, rows, cols, rowStride int) Descriptor {
+	return Descriptor{
+		Base:   base,
+		Shape:  [MaxDims]int{1, 1, rows, cols},
+		Stride: [MaxDims]int{0, 0, rowStride, 1},
+	}
+}
+
 // Len returns the total number of elements the descriptor traverses.
 func (d *Descriptor) Len() int {
 	n := 1

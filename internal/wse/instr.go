@@ -59,12 +59,13 @@ type MemOpKind int
 
 // MemOp kinds.
 const (
-	OpMul  MemOpKind = iota // dst = a * b
-	OpAdd                   // dst = a + b
-	OpAxpy                  // dst = dst + s*a   (FMAC)
-	OpCopy                  // dst = a
-	OpFMA                   // dst = s*a + b     (FMAC, three operands)
-	OpXPAY                  // dst = a + s*dst   (FMAC)
+	OpMul    MemOpKind = iota // dst = a * b
+	OpAdd                     // dst = a + b
+	OpAxpy                    // dst = dst + s*a   (FMAC)
+	OpCopy                    // dst = a
+	OpFMA                     // dst = s*a + b     (FMAC, three operands)
+	OpXPAY                    // dst = a + s*dst   (FMAC)
+	OpMulAcc                  // dst = dst + a*b, rounded as separate multiply and add
 )
 
 // MemOp is a memory-to-memory vector instruction (one of the SIMD tensor
@@ -108,6 +109,13 @@ func (m *MemOp) Step(c *Core, lanes int) int {
 			m.Arena.Set(di, fp16.FMA(m.S, m.Arena.At(m.A.Next()), m.Arena.At(m.B.Next())))
 		case OpXPAY:
 			m.Arena.Set(di, fp16.FMA(m.S, m.Arena.At(di), m.Arena.At(m.A.Next())))
+		case OpMulAcc:
+			// Two roundings (multiply, then accumulate), matching the
+			// 2D block-halo kernel's functional reference
+			// (kernels.SpMV2D), whose scatter is Mul followed by Add —
+			// the bit-identity contract between the wafer program and
+			// the host kernel depends on this order.
+			m.Arena.Set(di, fp16.Add(m.Arena.At(di), fp16.Mul(m.Arena.At(m.A.Next()), m.Arena.At(m.B.Next()))))
 		}
 		used++
 	}
