@@ -10,7 +10,7 @@ SHELL := /bin/bash
 # paper-table benches cheap, 3 iterations per measurement, 6 repetitions
 # so benchgate can take a stable median.
 BENCH_FLAGS := -short -run '^$$' -bench . -benchtime 3x -count 6
-GATE := 'Benchmark(FabricStep|MachineStep|SpMV2DMachine|Cavity2DWSEIteration)'
+GATE := 'Benchmark(FabricStep|MachineStep|SpMV2DMachine|Cavity2DWSEIteration|MultiWaferIteration)'
 
 .PHONY: build test race check lint bench bench-baseline bench-gate fuzz profile
 
@@ -30,6 +30,15 @@ check: build
 lint:
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	@if command -v staticcheck >/dev/null; then staticcheck ./...; else echo "staticcheck not installed; skipping (CI runs it)"; fi
+	@# Every internal package documents itself: go doc output must match
+	@# what README/ARCHITECTURE claim (CONTRIBUTING.md "Documentation
+	@# expectations"; CI lint runs the same check).
+	@fail=0; for d in internal/*/; do \
+		p=$$(basename "$$d"); \
+		if ! grep -qs "^// Package $$p " "$$d"*.go; then \
+			echo "missing package comment: internal/$$p"; fail=1; \
+		fi; \
+	done; exit $$fail
 
 bench:
 	$(GO) test $(BENCH_FLAGS) . | tee bench.txt

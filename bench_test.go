@@ -17,6 +17,7 @@ import (
 	"repro/internal/fp16"
 	"repro/internal/kernels"
 	"repro/internal/mfix"
+	"repro/internal/multiwafer"
 	"repro/internal/perfmodel"
 	"repro/internal/solver"
 	"repro/internal/stencil"
@@ -210,6 +211,46 @@ func BenchmarkCavity2DWSEIteration(b *testing.B) {
 			b.StopTimer()
 			be := c.Pressure.(*kernels.Wafer2DBackend)
 			b.ReportMetric(float64(be.Cycles.Total())/float64(be.Solves), "sim-cycles/pressure-solve")
+		})
+	}
+}
+
+// BenchmarkMultiWaferIteration measures BiCGStab iterations on the
+// cluster-of-wafers backend — per-tile phases, the on-wafer AllReduce,
+// and (on the 2x1 grid) the host-side edge-I/O halo shipping plus the
+// exactly rounded two-level combine. Gated by the bench-regression CI
+// job: the host cost of the multiwafer hot path (phase dispatch, halo
+// copies, exact combine) must not silently regress.
+func BenchmarkMultiWaferIteration(b *testing.B) {
+	m := stencil.Mesh{NX: 8, NY: 8, NZ: 16}
+	op := stencil.MomentumLike(m, 0.02, [3]float64{1, 0.2, -0.1}, 0.1, 1, 0.1)
+	norm, diag := op.Normalize()
+	h := stencil.NewOp7Half(norm)
+	xe := make([]float64, m.N())
+	for i := range xe {
+		xe[i] = 0.5 + float64(i%3)*0.1
+	}
+	b64 := make([]float64, m.N())
+	op.Apply(b64, xe)
+	b16 := fp16.FromFloat64Slice(stencil.ScaleRHS(b64, diag))
+
+	for _, grid := range []multiwafer.Topology{{W: 1, H: 1}, {W: 2, H: 1}} {
+		b.Run(grid.String(), func(b *testing.B) {
+			c, err := multiwafer.New(multiwafer.Config{Grid: grid}, h)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			var perIter float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := c.Solve(b16, kernels.WSEOptions{MaxIter: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				perIter = float64(st.PerIteration.Total())
+			}
+			b.ReportMetric(perIter, "sim-cycles/iter")
 		})
 	}
 }

@@ -1,6 +1,16 @@
 // Command repro regenerates every table and figure of the paper and
 // prints paper-vs-measured comparisons. Run with no arguments for the
-// full suite, or -exp to select one experiment.
+// full suite, or select one experiment:
+//
+//	-exp name    table1 | headline | allreduce | paperallreduce |
+//	             multiwafer | fig7 | fig8 | fig9 | table2 | spmv2d |
+//	             cavity2d | fig1 | memory | routing | all
+//	-fig9n n     Figure 9 mesh scale (default 25 => 25×100×25;
+//	             the paper's mesh is 100×400×100, i.e. -fig9n 100)
+//
+// The default "all" suite skips paperallreduce (it cycle-simulates the
+// full 602×595 wafer, ~15 s). See cmd/README.md and docs/RESULTS.md
+// for what each experiment measures and the paper numbers it targets.
 package main
 
 import (
@@ -13,7 +23,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"experiment: table1|headline|allreduce|paperallreduce|fig7|fig8|fig9|table2|spmv2d|cavity2d|fig1|memory|routing|all")
+		"experiment: table1|headline|allreduce|paperallreduce|multiwafer|fig7|fig8|fig9|table2|spmv2d|cavity2d|fig1|memory|routing|all")
 	fig9N := flag.Int("fig9n", 25, "fig9 mesh scale: runs 25×100×25 by default (paper: 100×400×100)")
 	flag.Parse()
 
@@ -27,6 +37,9 @@ func main() {
 		// Cycle-simulates the full 602×595 wafer (~15 s); selectable
 		// explicitly, skipped by the default "all" suite.
 		{"paperallreduce", core.PaperAllReduceReport},
+		// Cycle-simulates a small mesh across 1/2/4-wafer grids, then
+		// projects the cluster-of-wafers backend to paper scale.
+		{"multiwafer", core.MultiWaferReport},
 		{"fig7", core.ScalingReport}, // figs 7+8 share the report
 		{"fig8", core.ScalingReport},
 		{"fig9", func() string { return core.Fig9Report(*fig9N, *fig9N*4, *fig9N, 15) }},

@@ -2,6 +2,23 @@
 // cycle-level wafer simulator and reports convergence plus the
 // per-iteration cycle breakdown, extrapolated to wall-clock time at the
 // CS-1 clock.
+//
+// Two execution backends:
+//
+//	default         one wafer whose fabric equals the mesh's X×Y extent
+//	                (kernels.BiCGStabWSE: Listing 1 SpMV, float32
+//	                AllReduce dots)
+//	-wafers WxH     a cluster of W×H cycle-simulated wafers coupled by
+//	                the edge-I/O interconnect model
+//	                (internal/multiwafer: halo-resident SpMV, two-level
+//	                exactly-rounded dots — residual histories are
+//	                bit-identical for every grid, so `-wafers 2x1` and
+//	                `-wafers 1x1` print the same convergence)
+//
+// Typical runs:
+//
+//	wsesim -nx 16 -ny 16 -nz 64 -problem momentum
+//	wsesim -nx 64 -ny 64 -nz 64 -wafers 2x1 -iters 5
 package main
 
 import (
@@ -12,6 +29,7 @@ import (
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/multiwafer"
 	"repro/internal/perfmodel"
 	"repro/internal/stencil"
 )
@@ -23,8 +41,10 @@ func main() {
 	iters := flag.Int("iters", 20, "max BiCGStab iterations")
 	tol := flag.Float64("tol", 1e-3, "relative residual tolerance")
 	problem := flag.String("problem", "momentum", "poisson|momentum|random")
+	wafers := flag.String("wafers", "",
+		"wafer grid WxH: run the multiwafer cluster backend instead of a single wafer (e.g. 2x1)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
-		"simulation worker goroutines (>1 shards the fabric on a persistent pool; results are bit-identical)")
+		"simulation worker goroutines (>1 shards each fabric on a persistent pool; results are bit-identical)")
 	flag.Parse()
 
 	m := stencil.Mesh{NX: *nx, NY: *ny, NZ: *nz}
@@ -44,15 +64,43 @@ func main() {
 	}
 	p, _ := core.NewProblem(op, xe)
 
-	res, err := core.Solve(p, core.Options{Backend: core.Wafer, MaxIter: *iters, Tol: *tol, Workers: *workers})
+	opts := core.Options{Backend: core.Wafer, MaxIter: *iters, Tol: *tol, Workers: *workers}
+	if *wafers != "" {
+		grid, err := multiwafer.ParseTopology(*wafers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Backend = core.MultiWafer
+		opts.Wafers = grid
+	}
+	res, err := core.Solve(p, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("mesh %v on %d×%d fabric (%s problem)\n", m, *nx, *ny, *problem)
+
+	const clock = 1.1e9
+	if opts.Backend == core.MultiWafer {
+		fmt.Printf("mesh %v on a %s wafer grid (%d wafers, ~%d×%d fabric each; %s problem)\n",
+			m, opts.Wafers, opts.Wafers.Wafers(),
+			(*nx+opts.Wafers.W-1)/opts.Wafers.W, (*ny+opts.Wafers.H-1)/opts.Wafers.H, *problem)
+	} else {
+		fmt.Printf("mesh %v on %d×%d fabric (%s problem)\n", m, *nx, *ny, *problem)
+	}
 	fmt.Printf("iterations: %d  converged: %v  true residual: %.3e\n",
 		res.Iterations, res.Converged, res.TrueResidual)
+	if opts.Backend == core.MultiWafer {
+		pc := res.MultiWafer.PerIteration
+		fmt.Printf("cycles/iteration: %d  (spmv %d, edge-I/O %d, dot %d, allreduce %d, combine %d, axpy %d)\n",
+			pc.Total(), pc.SpMV, pc.EdgeIO, pc.Dot, pc.AllReduce, pc.Combine, pc.Axpy)
+		fmt.Printf("at %.1f GHz: %.2f µs/iteration (%.0f%% inter-wafer + reduction)\n",
+			clock/1e9, float64(pc.Total())/clock*1e6,
+			100*float64(pc.Communication())/float64(pc.Total()))
+		model := perfmodel.SimModel().MultiWaferIterationCycles(
+			m.NX, m.NY, m.NZ, opts.Wafers.W, opts.Wafers.H, clock, perfmodel.DefaultEdgeIO())
+		fmt.Printf("model prediction: %.0f cycles/iteration\n", model.Total())
+		return
+	}
 	pc := res.Cycles
-	clock := 1.1e9
 	fmt.Printf("cycles/iteration: %d  (spmv %d, dot %d, allreduce %d, axpy %d)\n",
 		pc.Total(), pc.SpMV, pc.Dot, pc.AllReduce, pc.Axpy)
 	fmt.Printf("at %.1f GHz: %.2f µs/iteration\n", clock/1e9, float64(pc.Total())/clock*1e6)

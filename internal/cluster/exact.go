@@ -1,0 +1,67 @@
+package cluster
+
+import "math/big"
+
+// This file exports the exactly-rounded reduction machinery that
+// ParallelBiCGStab's allreduce is built on, so other backends can make
+// the same determinism promise. internal/multiwafer uses ExactSum32 as
+// the top level of its two-level dot reduction: each wafer's per-tile
+// float32 dot partials are combined on the host with one rounding in
+// total, which makes the reduced value — and therefore the residual
+// history — independent of how the mesh was cut into wafers.
+
+// ExactSum32 returns the correctly rounded float64 sum of values: the
+// summands are accumulated into a fixed-point-exact wide accumulator
+// (every float32 is exactly representable there) and rounded to float64
+// once at the end, so the result is independent of summation order.
+//
+// If any summand is non-finite the exact accumulator cannot represent
+// the sum; the function degrades to the float64 sum in slice order,
+// which still propagates Inf/NaN deterministically for a fixed order.
+// Callers that need order-invariance during divergence should pass the
+// values in a canonical order (multiwafer uses global mesh order).
+func ExactSum32(values []float32) float64 {
+	acc := new(big.Float).SetPrec(exactPrec)
+	term := new(big.Float).SetPrec(53)
+	for _, v := range values {
+		f := float64(v)
+		if !isFinite(f) {
+			var s float64
+			for _, x := range values {
+				s += float64(x)
+			}
+			return s
+		}
+		term.SetFloat64(f)
+		acc.Add(acc, term)
+	}
+	out, _ := acc.Float64()
+	return out
+}
+
+// SplitExtent cuts an extent of n points into p contiguous blocks as
+// evenly as possible (the first n mod p blocks get one extra point) and
+// returns the block sizes. This is the 1D piece of the block
+// decomposition Decompose3D assumes; the multiwafer backend reuses it
+// to cut a mesh's X and Y extents across a wafer grid, where — unlike
+// the goroutine-rank decomposition, which requires dividing meshes —
+// uneven blocks are fine because each wafer's fabric is sized to its
+// block. SplitExtent panics if p < 1 or n < p (an empty wafer has no
+// fabric).
+func SplitExtent(n, p int) []int {
+	if p < 1 {
+		panic("cluster: SplitExtent needs at least one block")
+	}
+	if n < p {
+		panic("cluster: SplitExtent cannot give every block at least one point")
+	}
+	sizes := make([]int, p)
+	base, extra := n/p, n%p
+	for i := range sizes {
+		sizes[i] = base
+		if i < extra {
+			sizes[i]++
+		}
+	}
+	return sizes
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stencil"
+)
+
+// TestExactSum32OrderInvariant is the property the multiwafer combine
+// leans on: the exactly rounded sum is independent of summation order,
+// including orders that make a naive float sum drift (large
+// cancellations, tiny stragglers).
+func TestExactSum32OrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float32, 4096)
+	for i := range vals {
+		// Wide dynamic range plus exact cancellation pairs.
+		vals[i] = float32(rng.NormFloat64() * math.Pow(2, float64(rng.Intn(40)-20)))
+		if i%7 == 0 && i > 0 {
+			vals[i] = -vals[i-1]
+		}
+	}
+	want := ExactSum32(vals)
+	for trial := 0; trial < 10; trial++ {
+		rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		if got := ExactSum32(vals); got != want {
+			t.Fatalf("trial %d: %.17g != %.17g", trial, got, want)
+		}
+	}
+	// Against a widened reference on a case small enough to trust.
+	small := []float32{1e20, 1, -1e20, 1, 0.5, -2.5}
+	if got := ExactSum32(small); got != 0 {
+		t.Errorf("ExactSum32(%v) = %g, want 0", small, got)
+	}
+}
+
+// TestExactSum32NonFinite covers the degraded path: Inf/NaN propagate
+// deterministically in slice order.
+func TestExactSum32NonFinite(t *testing.T) {
+	inf := float32(math.Inf(1))
+	if got := ExactSum32([]float32{1, inf, 2}); !math.IsInf(got, 1) {
+		t.Errorf("Inf sum = %g", got)
+	}
+	if got := ExactSum32([]float32{1, inf, -inf}); !math.IsNaN(got) {
+		t.Errorf("Inf + -Inf = %g, want NaN", got)
+	}
+	nan := float32(math.NaN())
+	if got := ExactSum32([]float32{nan, 1}); !math.IsNaN(got) {
+		t.Errorf("NaN sum = %g", got)
+	}
+	if got := ExactSum32(nil); got != 0 {
+		t.Errorf("empty sum = %g", got)
+	}
+}
+
+// TestSplitExtent covers the 1D partition the wafer mapping reuses:
+// even splits, remainder placement, single block, and the panics.
+func TestSplitExtent(t *testing.T) {
+	for _, tc := range []struct {
+		n, p int
+		want []int
+	}{
+		{8, 2, []int{4, 4}},
+		{7, 2, []int{4, 3}},
+		{10, 3, []int{4, 3, 3}},
+		{6, 6, []int{1, 1, 1, 1, 1, 1}},
+		{5, 1, []int{5}},
+	} {
+		got := SplitExtent(tc.n, tc.p)
+		if len(got) != len(tc.want) {
+			t.Fatalf("SplitExtent(%d,%d) = %v", tc.n, tc.p, got)
+		}
+		sum := 0
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("SplitExtent(%d,%d) = %v, want %v", tc.n, tc.p, got, tc.want)
+			}
+			sum += got[i]
+		}
+		if sum != tc.n {
+			t.Errorf("SplitExtent(%d,%d) sums to %d", tc.n, tc.p, sum)
+		}
+	}
+	for _, bad := range [][2]int{{5, 0}, {5, -1}, {2, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SplitExtent(%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			SplitExtent(bad[0], bad[1])
+		}()
+	}
+}
+
+// TestValidateErrorBranches exercises both published-anchor checks of
+// Config.Validate: a config that misses the 1,024-core anchor, one
+// that hits it but misses the 16K-core anchor, and the calibrated
+// config passing both.
+func TestValidateErrorBranches(t *testing.T) {
+	good := Joule()
+	if err := good.Validate(0.15); err != nil {
+		t.Fatalf("calibrated config rejected: %v", err)
+	}
+
+	// Halving memory bandwidth blows the 1,024-core anchor (memory
+	// bound there).
+	slowMem := Joule()
+	slowMem.MemBWPerNode /= 2
+	if err := slowMem.Validate(0.15); err == nil {
+		t.Error("halved memory bandwidth passed validation")
+	}
+
+	// Inflating only the per-rank collective cost leaves 1,024 cores
+	// within tolerance but wrecks 16K cores, hitting the second branch.
+	slowColl := Joule()
+	slowColl.CollPerRank *= 10
+	t1024 := slowColl.IterationTime(Fig8Mesh, 1024).Total()
+	if math.Abs(t1024-75e-3)/75e-3 > 0.15 {
+		t.Fatalf("test premise broken: 1024-core time %v drifted out of tolerance", t1024)
+	}
+	if err := slowColl.Validate(0.15); err == nil {
+		t.Error("10× collective jitter passed validation")
+	}
+}
+
+// TestDecompose3DEdgeCases covers the degenerate decompositions the
+// multiwafer mapping meets: one rank, prime rank counts on non-dividing
+// meshes, and ranks exceeding a mesh dimension.
+func TestDecompose3DEdgeCases(t *testing.T) {
+	m := stencil.Mesh{NX: 8, NY: 8, NZ: 8}
+	if px, py, pz := Decompose3D(m, 1); px != 1 || py != 1 || pz != 1 {
+		t.Errorf("1 rank: %d×%d×%d", px, py, pz)
+	}
+	// A prime count on a non-dividing mesh still factors (7 = 7×1×1)
+	// even though no axis divides evenly; ParallelBiCGStab separately
+	// rejects the non-dividing split.
+	px, py, pz := Decompose3D(stencil.Mesh{NX: 10, NY: 10, NZ: 10}, 7)
+	if px*py*pz != 7 {
+		t.Errorf("7 ranks: %d×%d×%d does not multiply to 7", px, py, pz)
+	}
+	// More ranks than any single axis: must spread across axes.
+	px, py, pz = Decompose3D(m, 64)
+	if px*py*pz != 64 || px > 8 || py > 8 || pz > 8 {
+		t.Errorf("64 ranks on 8³: %d×%d×%d", px, py, pz)
+	}
+	// Non-dividing meshes are rejected by the rank-parallel solver...
+	norm, _ := stencil.Poisson(stencil.Mesh{NX: 5, NY: 5, NZ: 5}, 1).Normalize()
+	b := make([]float64, 125)
+	for i := range b {
+		b[i] = 1
+	}
+	if _, _, err := ParallelBiCGStab(norm, b, 2, 3, 0); err == nil {
+		t.Error("non-dividing 5³/2-rank decomposition accepted")
+	}
+	// ...and a 1-rank run works on any mesh (the degenerate partition).
+	if _, hist, err := ParallelBiCGStab(norm, b, 1, 3, 0); err != nil || len(hist) == 0 {
+		t.Errorf("1-rank solve: hist=%d err=%v", len(hist), err)
+	}
+}

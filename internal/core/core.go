@@ -17,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/fp16"
 	"repro/internal/kernels"
+	"repro/internal/multiwafer"
 	"repro/internal/solver"
 	"repro/internal/stencil"
 	"repro/internal/wse"
@@ -63,6 +64,11 @@ const (
 	Local Backend = iota
 	Wafer
 	Cluster
+	// MultiWafer runs the mixed-precision solve across a grid of
+	// cycle-simulated wafers coupled through the edge-I/O interconnect
+	// model (internal/multiwafer), routed through the solver.Backend3D
+	// seam. Residual histories are bit-identical across wafer grids.
+	MultiWafer
 )
 
 // Problem is a linear system from a 7-point stencil discretization.
@@ -92,6 +98,9 @@ type Options struct {
 	// count; see fabric.Sharded). Simulated results are bit-identical
 	// either way.
 	Workers int
+	// Wafers is the MultiWafer backend's wafer grid; the zero value
+	// means a single wafer.
+	Wafers multiwafer.Topology
 }
 
 // Result reports a solve.
@@ -107,6 +116,9 @@ type Result struct {
 	TrueResidual float64
 	// Cycles is the wafer backend's per-iteration phase breakdown.
 	Cycles *kernels.PhaseCycles
+	// MultiWafer is the multiwafer backend's cycle account (per-phase,
+	// including edge I/O and the two-level combine).
+	MultiWafer *multiwafer.Stats
 }
 
 // Solve runs BiCGStab on the selected backend.
@@ -161,6 +173,26 @@ func Solve(p Problem, o Options) (Result, error) {
 		res.History = st.History
 		pc := st.PerIteration
 		res.Cycles = &pc
+
+	case MultiWafer:
+		grid := o.Wafers
+		if grid.W == 0 {
+			grid = multiwafer.Topology{W: 1, H: 1}
+		}
+		var mwStats multiwafer.Stats
+		be := multiwafer.Backend{Grid: grid, Workers: o.Workers, LastStats: &mwStats}
+		x, st, err := be.Solve3D(norm, sb, make([]float64, len(sb)), solver.Options{
+			MaxIter: o.MaxIter, Tol: o.Tol, RecordHistory: true,
+		})
+		if err != nil {
+			return res, err
+		}
+		res.X = x
+		res.Iterations = st.Iterations
+		res.Converged = st.Converged
+		res.Breakdown = st.Breakdown
+		res.History = st.History
+		res.MultiWafer = &mwStats
 
 	case Cluster:
 		ranks := o.Ranks

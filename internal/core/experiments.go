@@ -9,6 +9,7 @@ import (
 	"repro/internal/fp16"
 	"repro/internal/kernels"
 	"repro/internal/mfix"
+	"repro/internal/multiwafer"
 	"repro/internal/perfmodel"
 	"repro/internal/solver"
 	"repro/internal/stencil"
@@ -216,6 +217,61 @@ func AllReduceReport() string {
 	w := perfmodel.CS1()
 	fmt.Fprintf(&b, "  modelled 602×595: %.0f cycles = %.2f µs (paper: < 1.5 µs; ~1.25× diameter — odd height serializes the single center row)\n",
 		w.AllReduceCycles(), w.AllReduceSeconds()*1e6)
+	return b.String()
+}
+
+// MultiWaferReport exercises the cluster-of-wafers backend: a live
+// cycle-simulated strong-scaling sweep of one mesh across wafer grids
+// (verifying the bit-identical-histories contract as it goes), then
+// the calibrated model's projection to grids of full 602×595 wafers on
+// the paper's headline mesh.
+func MultiWaferReport() string {
+	var b strings.Builder
+	m := stencil.Mesh{NX: 16, NY: 16, NZ: 32}
+	op := stencil.MomentumLike(m, 0.02, [3]float64{1, 0.2, -0.1}, 0.1, 1, 0.1)
+	xe := ramp(m.N())
+	p, _ := NewProblem(op, xe)
+
+	fmt.Fprintf(&b, "Multi-wafer cluster backend — %v mesh, cycle-simulated\n", m)
+	fmt.Fprintf(&b, "  %-6s %12s %10s %10s %10s %10s\n", "grid", "cyc/iter", "spmv", "allreduce", "edge-I/O", "combine")
+	var refHist []float64
+	identical := true
+	for _, grid := range []multiwafer.Topology{{W: 1, H: 1}, {W: 2, H: 1}, {W: 2, H: 2}} {
+		res, err := Solve(p, Options{Backend: MultiWafer, MaxIter: 4, Wafers: grid})
+		if err != nil {
+			return err.Error()
+		}
+		pi := res.MultiWafer.PerIteration
+		fmt.Fprintf(&b, "  %-6s %12d %10d %10d %10d %10d\n",
+			grid, pi.Total(), pi.SpMV, pi.AllReduce, pi.EdgeIO, pi.Combine)
+		if refHist == nil {
+			refHist = res.History
+		} else {
+			for i := range refHist {
+				if res.History[i] != refHist[i] {
+					identical = false
+				}
+			}
+		}
+	}
+	fmt.Fprintf(&b, "  residual histories bit-identical across grids: %v\n", identical)
+
+	model := perfmodel.PaperModel()
+	io := perfmodel.DefaultEdgeIO()
+	mesh, _, _ := perfmodel.Headline()
+	fmt.Fprintf(&b, "Weak-scaling projection — %d×%d per-wafer extent, Z=%d, grids of\n", mesh.X, mesh.Y, mesh.Z)
+	fmt.Fprintf(&b, "602×595-class wafers (η=%.3f): bigger meshes, near-constant iteration time\n", perfmodel.PaperEta)
+	fmt.Fprintf(&b, "  %-6s %8s %14s %12s %12s %7s\n", "grid", "wafers", "mesh", "µs/iter", "throughput×", "comm%")
+	for _, pt := range model.MultiWaferWeakScaling(mesh.X, mesh.Y, mesh.Z,
+		[][2]int{{1, 1}, {2, 1}, {2, 2}, {4, 2}, {4, 4}}, 1.1e9, io) {
+		fmt.Fprintf(&b, "  %dx%-4d %8d %7dx%-6d %12.2f %12.2f %6.0f%%\n",
+			pt.GridW, pt.GridH, pt.Wafers, pt.GridW*mesh.X, pt.GridH*mesh.Y,
+			pt.IterMicros, pt.Speedup, 100*pt.Breakdown.CommFraction())
+	}
+	fmt.Fprintf(&b, "  (the 3D mapping is X×Y-parallel, so scaling out buys capacity, not\n")
+	fmt.Fprintf(&b, "   iteration speed: a 16-wafer cluster solves a 16× mesh for the cost of the\n")
+	fmt.Fprintf(&b, "   edge-I/O halos and the exact two-level combine; examples/multiwafer also\n")
+	fmt.Fprintf(&b, "   prints the strong-scaling sweep that quantifies those overheads)\n")
 	return b.String()
 }
 

@@ -1,8 +1,12 @@
 // Package kernels implements the paper's wafer programs on the simulated
 // CS-1: the 3D 7-point SpMV of Listing 1/Figure 4 with the tessellation
-// routing of Figure 5, the scalar AllReduce of Figure 6, the AXPY and
-// mixed-precision dot kernels, the 2D 9-point SpMV mapping, and the
-// BiCGStab driver that composes them.
+// routing of Figure 5, the halo-resident 3D SpMV variant the multiwafer
+// backend composes across wafers (SpMV3DHalo, bitwise equal to the
+// functional reference), the scalar AllReduce of Figure 6, the AXPY and
+// mixed-precision dot kernels, the 2D 9-point block-halo SpMV mapping
+// (functional and cycle-simulated forms), and the shared BiCGStab driver
+// that composes them. See docs/ARCHITECTURE.md for each kernel's
+// determinism class and the color-assignment map.
 package kernels
 
 import "repro/internal/fabric"

@@ -1,0 +1,304 @@
+// Package multiwafer composes several cycle-simulated wafers
+// (wse.Machine instances) into a cluster that solves one 3D stencil
+// system — the scale-out direction the paper closes with: if one CS-1
+// replaces a cluster of CPU nodes, a cluster of CS-1s coupled through
+// their 1.2 Tb/s edge I/O is the next rung.
+//
+// A W×H wafer grid block-partitions the mesh's X×Y extent (the Z
+// columns stay tile-local, as in the paper's 3D mapping); each wafer
+// simulates its sub-extent with the halo-resident SpMV
+// (kernels.SpMV3DHalo). Three kinds of coupling cross wafer edges, all
+// through a host-side interconnect model that charges latency plus
+// bytes over the per-edge bandwidth and converts to cycles at the wafer
+// clock:
+//
+//   - halo exchange: before each SpMV, boundary iterate columns are
+//     copied bit-verbatim into the neighbouring wafer's halo storage;
+//   - dot reduction, level two: each wafer reduces its per-tile
+//     mixed-precision dot partials with the on-wafer Figure 6 AllReduce
+//     (cycle-simulated), and the host then combines the partials of all
+//     wafers into one exactly rounded float64 (cluster.ExactSum32 — the
+//     same wide-accumulator machinery as the goroutine-rank backend);
+//   - the scalar result is re-broadcast, charged as two scalar hops per
+//     grid axis.
+//
+// # Determinism contract
+//
+// Residual histories and solutions are bit-identical across wafer
+// counts and simulation engines. Per-tile arithmetic is a fixed
+// instruction sequence (the SpMV3DHalo contract), halos move
+// bit-verbatim whether by fabric stream or host edge copy, dots are
+// exactly rounded sums of per-tile partials (order-invariant), and all
+// host-side diagnostics accumulate in canonical global mesh order. The
+// package tests pin 1/2/4-wafer runs and both engines to the same
+// histories; note the exact dots mean a 1×1 multiwafer solve is its own
+// engine, not bit-equal to kernels.BiCGStabWSE (whose dots take the
+// float32 tree-order AllReduce value).
+package multiwafer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/fabric"
+	"repro/internal/kernels"
+	"repro/internal/stencil"
+	"repro/internal/wse"
+)
+
+// Topology is the wafer grid: W×H wafers side by side over the mesh's
+// X×Y extent.
+type Topology struct{ W, H int }
+
+// Wafers returns the wafer count.
+func (t Topology) Wafers() int { return t.W * t.H }
+
+// String formats the grid as "WxH".
+func (t Topology) String() string { return fmt.Sprintf("%dx%d", t.W, t.H) }
+
+// ParseTopology parses a "WxH" grid spec (as in cmd/wsesim -wafers).
+// The whole string must be the spec — trailing input is rejected, so a
+// typo like "2x2x4" fails instead of silently running a 2×2 grid.
+func ParseTopology(s string) (Topology, error) {
+	bad := func() (Topology, error) {
+		return Topology{}, fmt.Errorf("multiwafer: bad wafer grid %q (want WxH, e.g. 2x1)", s)
+	}
+	ws, hs, found := strings.Cut(s, "x")
+	if !found {
+		return bad()
+	}
+	w, err := strconv.Atoi(ws)
+	if err != nil || w < 1 {
+		return bad()
+	}
+	h, err := strconv.Atoi(hs)
+	if err != nil || h < 1 {
+		return bad()
+	}
+	return Topology{W: w, H: h}, nil
+}
+
+// Interconnect models the host-side coupling between adjacent wafers:
+// a fixed per-transfer latency plus a bandwidth term per wafer edge.
+// The CS-1 exposes 1.2 Tb/s of edge I/O; the default charges that full
+// rate to each edge face, the most favourable reading (a face-to-face
+// cable consuming the whole I/O complex), so the model's scaling limits
+// are lower bounds on communication cost.
+type Interconnect struct {
+	// LatencySec is the fixed cost of one transfer (host turnaround plus
+	// link latency).
+	LatencySec float64
+	// EdgeBandwidthBps is the usable bandwidth of one wafer edge face in
+	// bits per second.
+	EdgeBandwidthBps float64
+}
+
+// DefaultInterconnect returns the calibration used by the reports: 1 µs
+// latency, the CS-1's 1.2 Tb/s edge I/O per face.
+func DefaultInterconnect() Interconnect {
+	return Interconnect{LatencySec: 1e-6, EdgeBandwidthBps: 1.2e12}
+}
+
+// TransferSeconds returns the modelled time to move bytes across one
+// wafer edge face.
+func (ic Interconnect) TransferSeconds(bytes int) float64 {
+	return ic.LatencySec + 8*float64(bytes)/ic.EdgeBandwidthBps
+}
+
+// Config assembles a cluster.
+type Config struct {
+	Grid Topology
+	// Interconnect defaults to DefaultInterconnect when zero.
+	Interconnect Interconnect
+	// Workers selects each machine's simulation engine (wse.Config.Workers).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Grid.W == 0 {
+		c.Grid.W = 1
+	}
+	if c.Grid.H == 0 {
+		c.Grid.H = 1
+	}
+	if c.Interconnect == (Interconnect{}) {
+		c.Interconnect = DefaultInterconnect()
+	}
+	return c
+}
+
+// Colors: the four directional halo-exchange colors, then the six
+// AllReduce colors, on every wafer's fabric.
+const arBase = fabric.Color(kernels.NumStencil2DColors)
+
+// wafer is one machine plus its programs and per-tile solver storage.
+type wafer struct {
+	wx, wy   int // grid position
+	x0, y0   int // global tile coordinate of fabric (0,0)
+	w, h     int // fabric extent
+	mach     *wse.Machine
+	spmv     *kernels.SpMV3DHalo
+	ar       *kernels.AllReduce
+	neighbor [kernels.NumHaloDirs]*wafer // adjacent wafers, nil at the grid edge
+	// Per-tile arena offsets of the seven solver vectors.
+	offX, offR0, offR, offP, offS, offQ, offY []int
+	partial                                   []float32 // per-tile dot partials
+	phaseTask                                 []*wse.Task
+	phaseDone                                 []bool
+}
+
+// tiles returns the wafer's tile count.
+func (w *wafer) tiles() int { return w.w * w.h }
+
+// Cluster is a grid of cycle-simulated wafers solving one system.
+type Cluster struct {
+	Cfg  Config
+	Mesh stencil.Mesh
+
+	wafers []*wafer
+	// order lists (wafer, tile) pairs in canonical global mesh order —
+	// the summation order of every host-side reduction, so diagnostics
+	// cannot depend on the decomposition.
+	order [][2]int32
+}
+
+// New builds a cluster for the normalized operator op. The mesh's X and
+// Y extents are cut as evenly as possible across the grid
+// (cluster.SplitExtent); Z must be even and the per-tile footprint —
+// twelve SpMV columns plus seven solver vectors, 19·Z words — must fit
+// the 48 KB tile memory.
+func New(cfg Config, op *stencil.Op7Half) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	m := op.M
+	if cfg.Grid.W > m.NX || cfg.Grid.H > m.NY {
+		return nil, fmt.Errorf("multiwafer: grid %v needs at least %d×%d mesh columns, have %d×%d",
+			cfg.Grid, cfg.Grid.W, cfg.Grid.H, m.NX, m.NY)
+	}
+	xs := cluster.SplitExtent(m.NX, cfg.Grid.W)
+	ys := cluster.SplitExtent(m.NY, cfg.Grid.H)
+
+	c := &Cluster{Cfg: cfg, Mesh: m}
+	ok := false
+	defer func() {
+		if !ok {
+			c.Close()
+		}
+	}()
+
+	y0 := 0
+	for wy := 0; wy < cfg.Grid.H; wy++ {
+		x0 := 0
+		for wx := 0; wx < cfg.Grid.W; wx++ {
+			wf := &wafer{wx: wx, wy: wy, x0: x0, y0: y0, w: xs[wx], h: ys[wy]}
+			mcfg := wse.CS1(wf.w, wf.h)
+			mcfg.Workers = cfg.Workers
+			wf.mach = wse.New(mcfg)
+			var err error
+			wf.spmv, err = kernels.NewSpMV3DHalo(wf.mach, op, x0, y0, 0)
+			if err != nil {
+				return nil, fmt.Errorf("multiwafer: wafer (%d,%d): %v", wx, wy, err)
+			}
+			wf.ar, err = kernels.NewAllReduce(wf.mach, arBase)
+			if err != nil {
+				return nil, fmt.Errorf("multiwafer: wafer (%d,%d): %v", wx, wy, err)
+			}
+			if err := c.allocSolver(wf, m.NZ); err != nil {
+				return nil, err
+			}
+			c.wafers = append(c.wafers, wf)
+			x0 += xs[wx]
+		}
+		y0 += ys[wy]
+	}
+
+	// Wire wafer adjacency (HaloXP = the wafer to the east, …).
+	at := func(wx, wy int) *wafer {
+		if wx < 0 || wx >= cfg.Grid.W || wy < 0 || wy >= cfg.Grid.H {
+			return nil
+		}
+		return c.wafers[wy*cfg.Grid.W+wx]
+	}
+	for _, wf := range c.wafers {
+		wf.neighbor[kernels.HaloXP] = at(wf.wx+1, wf.wy)
+		wf.neighbor[kernels.HaloXM] = at(wf.wx-1, wf.wy)
+		wf.neighbor[kernels.HaloYP] = at(wf.wx, wf.wy+1)
+		wf.neighbor[kernels.HaloYM] = at(wf.wx, wf.wy-1)
+	}
+
+	// Canonical reduction order: global (y, x) row-major.
+	c.order = make([][2]int32, 0, m.NX*m.NY)
+	for gy := 0; gy < m.NY; gy++ {
+		for gx := 0; gx < m.NX; gx++ {
+			wi, ti := c.locate(gx, gy)
+			c.order = append(c.order, [2]int32{int32(wi), int32(ti)})
+		}
+	}
+	ok = true
+	return c, nil
+}
+
+// locate returns the wafer index and local tile index owning global
+// mesh column (gx, gy).
+func (c *Cluster) locate(gx, gy int) (wi, ti int) {
+	for i, wf := range c.wafers {
+		if gx >= wf.x0 && gx < wf.x0+wf.w && gy >= wf.y0 && gy < wf.y0+wf.h {
+			return i, (gy-wf.y0)*wf.w + (gx - wf.x0)
+		}
+	}
+	panic(fmt.Sprintf("multiwafer: no wafer owns column (%d,%d)", gx, gy))
+}
+
+// allocSolver allocates the seven per-tile solver vectors and the
+// reusable phase task on every tile of wf.
+func (c *Cluster) allocSolver(wf *wafer, z int) error {
+	n := wf.tiles()
+	wf.offX = make([]int, n)
+	wf.offR0 = make([]int, n)
+	wf.offR = make([]int, n)
+	wf.offP = make([]int, n)
+	wf.offS = make([]int, n)
+	wf.offQ = make([]int, n)
+	wf.offY = make([]int, n)
+	wf.partial = make([]float32, n)
+	wf.phaseTask = make([]*wse.Task, n)
+	wf.phaseDone = make([]bool, n)
+	for i, t := range wf.mach.Tiles {
+		var err error
+		alloc := func(name string, off *[]int) {
+			if err != nil {
+				return
+			}
+			(*off)[i], err = t.Arena.Alloc(name, z)
+		}
+		alloc("x", &wf.offX)
+		alloc("r0", &wf.offR0)
+		alloc("r", &wf.offR)
+		alloc("p", &wf.offP)
+		alloc("s", &wf.offS)
+		alloc("q", &wf.offQ)
+		alloc("y", &wf.offY)
+		if err != nil {
+			return fmt.Errorf("multiwafer: wafer (%d,%d) tile %v: %v", wf.wx, wf.wy, t.Coord, err)
+		}
+		i := i
+		task := &wse.Task{Name: "phase"}
+		task.OnComplete = func(cc *wse.Core) { wf.phaseDone[i] = true }
+		t.Core.AddTask(task)
+		wf.phaseTask[i] = task
+	}
+	return nil
+}
+
+// Wafers returns the wafer count.
+func (c *Cluster) Wafers() int { return len(c.wafers) }
+
+// Close releases every machine's simulation worker pool. Idempotent.
+func (c *Cluster) Close() {
+	for _, wf := range c.wafers {
+		if wf.mach != nil {
+			wf.mach.Close()
+		}
+	}
+}

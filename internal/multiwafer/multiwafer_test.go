@@ -1,0 +1,287 @@
+package multiwafer
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fp16"
+	"repro/internal/kernels"
+	"repro/internal/solver"
+	"repro/internal/stencil"
+)
+
+// testProblem builds a normalized momentum-like system with a random
+// exact solution, returning the half operator, the fp16 rhs, and the
+// float64 scaled rhs (for true-residual checks).
+func testProblem(t *testing.T, nx, ny, nz int, seed int64) (*stencil.Op7Half, *stencil.Op7, []fp16.Float16, []float64) {
+	t.Helper()
+	m := stencil.Mesh{NX: nx, NY: ny, NZ: nz}
+	op := stencil.MomentumLike(m, 0.02, [3]float64{1, 0.2, -0.1}, 0.1, 1, 0.1)
+	rng := rand.New(rand.NewSource(seed))
+	xe := make([]float64, m.N())
+	for i := range xe {
+		xe[i] = rng.Float64()
+	}
+	b := make([]float64, m.N())
+	op.Apply(b, xe)
+	norm, diag := op.Normalize()
+	sb := stencil.ScaleRHS(b, diag)
+	return stencil.NewOp7Half(norm), norm, fp16.FromFloat64Slice(sb), sb
+}
+
+func solveOn(t *testing.T, grid Topology, workers int, h *stencil.Op7Half, b []fp16.Float16, iters int) ([]fp16.Float16, Stats) {
+	t.Helper()
+	c, err := New(Config{Grid: grid, Workers: workers}, h)
+	if err != nil {
+		t.Fatalf("grid %v: %v", grid, err)
+	}
+	defer c.Close()
+	x, st, err := c.Solve(b, kernels.WSEOptions{MaxIter: iters})
+	if err != nil {
+		t.Fatalf("grid %v: %v", grid, err)
+	}
+	return x, st
+}
+
+// TestSolveBitIdenticalAcrossWaferCounts is the package's determinism
+// contract at small scale: 1, 2 and 4 wafers (including an uneven
+// split) and both simulation engines produce bit-identical residual
+// histories and solutions.
+func TestSolveBitIdenticalAcrossWaferCounts(t *testing.T) {
+	h, _, b, _ := testProblem(t, 6, 6, 8, 3)
+	refX, refSt := solveOn(t, Topology{1, 1}, 1, h, b, 4)
+	if len(refSt.History) == 0 {
+		t.Fatal("no residual history recorded")
+	}
+	for _, tc := range []struct {
+		grid    Topology
+		workers int
+	}{
+		{Topology{2, 1}, 1},
+		{Topology{1, 2}, 1},
+		{Topology{2, 2}, 1},
+		{Topology{3, 1}, 1}, // uneven: 6 columns over 3 wafers of width 2
+		{Topology{2, 2}, 4}, // sharded engine
+		{Topology{1, 1}, 4},
+	} {
+		x, st := solveOn(t, tc.grid, tc.workers, h, b, 4)
+		if len(st.History) != len(refSt.History) {
+			t.Fatalf("grid %v workers %d: %d iterations, want %d", tc.grid, tc.workers, len(st.History), len(refSt.History))
+		}
+		for i := range st.History {
+			if st.History[i] != refSt.History[i] {
+				t.Fatalf("grid %v workers %d: history[%d] = %.17g, want %.17g",
+					tc.grid, tc.workers, i, st.History[i], refSt.History[i])
+			}
+		}
+		for i := range x {
+			if x[i] != refX[i] {
+				t.Fatalf("grid %v workers %d: x[%d] = %04x, want %04x", tc.grid, tc.workers, i, x[i].Bits(), refX[i].Bits())
+			}
+		}
+	}
+}
+
+// TestSolveConverges checks the physics: the fp16 iterate actually
+// solves the system to fp16-plateau accuracy on a 2×2 wafer grid.
+func TestSolveConverges(t *testing.T) {
+	h, norm, b, sb := testProblem(t, 6, 6, 8, 7)
+	c, err := New(Config{Grid: Topology{2, 2}}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	x, st, err := c.Solve(b, kernels.WSEOptions{MaxIter: 25, Tol: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := kernels.SolutionResidual(norm, x, sb)
+	if tr > 2e-2 {
+		t.Errorf("true residual %.3e, want fp16-plateau accuracy", tr)
+	}
+	if len(st.History) < 2 || st.History[len(st.History)-1] >= st.History[0] {
+		t.Errorf("residual did not decrease: %v", st.History)
+	}
+}
+
+// TestCycleAccounting pins the shape of the cycle account: the
+// inter-wafer costs are zero on one wafer and positive on several; the
+// on-wafer phases are positive everywhere; and a larger grid pays less
+// AllReduce per wafer (smaller fabrics) but positive edge I/O.
+func TestCycleAccounting(t *testing.T) {
+	h, _, b, _ := testProblem(t, 8, 8, 8, 5)
+	_, one := solveOn(t, Topology{1, 1}, 1, h, b, 3)
+	_, four := solveOn(t, Topology{2, 2}, 1, h, b, 3)
+
+	if one.Cycles.EdgeIO != 0 || one.Cycles.Combine != 0 {
+		t.Errorf("single wafer charged inter-wafer cycles: %+v", one.Cycles)
+	}
+	if four.Cycles.EdgeIO == 0 || four.Cycles.Combine == 0 {
+		t.Errorf("2x2 grid charged no inter-wafer cycles: %+v", four.Cycles)
+	}
+	for _, st := range []Stats{one, four} {
+		if st.Cycles.SpMV == 0 || st.Cycles.Dot == 0 || st.Cycles.AllReduce == 0 || st.Cycles.Axpy == 0 {
+			t.Errorf("missing simulated phase cycles: %+v", st.Cycles)
+		}
+	}
+	if four.Cycles.AllReduce >= one.Cycles.AllReduce {
+		t.Errorf("4×4-tile wafers should reduce faster than the 8×8 wafer: %d vs %d",
+			four.Cycles.AllReduce, one.Cycles.AllReduce)
+	}
+	if one.PerIteration.Total() <= 0 {
+		t.Errorf("per-iteration account empty: %+v", one.PerIteration)
+	}
+}
+
+// TestBackendSeam runs the same problem through solver.Backend3D on the
+// host and the wafer cluster: both must converge, and the multiwafer
+// backend must populate LastStats.
+func TestBackendSeam(t *testing.T) {
+	_, norm, _, sb := testProblem(t, 4, 4, 8, 11)
+	x0 := make([]float64, len(sb))
+	opts := solver.Options{MaxIter: 20, Tol: 1e-3, RecordHistory: true}
+
+	hx, hst, err := solver.HostBackend3D{}.Solve3D(norm, sb, x0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mwStats Stats
+	be := Backend{Grid: Topology{2, 1}, LastStats: &mwStats}
+	wx, wst, err := be.Solve3D(norm, sb, x0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hst.Converged {
+		t.Errorf("host backend did not converge: %+v", hst)
+	}
+	if len(wst.History) == 0 || mwStats.Cycles.Total() == 0 {
+		t.Errorf("multiwafer stats not populated: %+v / %+v", wst, mwStats)
+	}
+	hr := norm.ResidualNorm(hx, sb) / stencil.Norm2(sb)
+	wr := norm.ResidualNorm(wx, sb) / stencil.Norm2(sb)
+	if hr > 1e-3 || wr > 2e-2 {
+		t.Errorf("residuals: host %.3e (want <1e-3), wafer %.3e (want fp16 plateau)", hr, wr)
+	}
+	if be.Name() != "multiwafer/2x1" {
+		t.Errorf("backend name = %q", be.Name())
+	}
+
+	// Guard rails.
+	if _, _, err := be.Solve3D(norm, sb, []float64{1}, opts); err == nil {
+		t.Error("nonzero x0 accepted")
+	}
+	raw := stencil.Poisson(stencil.Mesh{NX: 4, NY: 4, NZ: 8}, 1)
+	if _, _, err := be.Solve3D(raw, sb, x0, opts); err == nil {
+		t.Error("non-normalized operator accepted")
+	}
+}
+
+// TestExactCombineMatchesExactSum cross-checks the two-level dot
+// against cluster.ExactSum32 directly: the solve's bnorm² must equal
+// the exactly rounded sum of per-tile DotMixed partials computed on the
+// host.
+func TestExactCombineMatchesExactSum(t *testing.T) {
+	h, _, b, _ := testProblem(t, 4, 4, 8, 13)
+	m := h.M
+	// Host image of the per-tile partials, in global order.
+	var parts []float32
+	for gy := 0; gy < m.NY; gy++ {
+		for gx := 0; gx < m.NX; gx++ {
+			var acc float32
+			for z := 0; z < m.NZ; z++ {
+				v := b[m.Index(gx, gy, z)]
+				acc = fp16.MixedFMAC(acc, v, v)
+			}
+			parts = append(parts, acc)
+		}
+	}
+	want := cluster.ExactSum32(parts)
+
+	c, err := New(Config{Grid: Topology{2, 2}}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Solve(b, kernels.WSEOptions{MaxIter: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Recompute through the cluster's own reduction path.
+	var cycles PhaseCycles
+	// Reload r0 = b (Solve left r0 in place; dot it directly).
+	got, err := c.dot(&cycles, func(wf *wafer) ([]int, []int) { return wf.offR0, wf.offR0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("two-level dot = %.17g, host exact sum = %.17g", got, want)
+	}
+}
+
+// TestParseTopology covers the cmd/wsesim flag syntax.
+func TestParseTopology(t *testing.T) {
+	if g, err := ParseTopology("2x3"); err != nil || g != (Topology{2, 3}) {
+		t.Errorf("ParseTopology(2x3) = %v, %v", g, err)
+	}
+	for _, bad := range []string{"", "2", "0x1", "2x0", "-1x2", "axb", "2x2x4", "2x1junk", " 2x1", "2x1 "} {
+		if _, err := ParseTopology(bad); err == nil {
+			t.Errorf("ParseTopology(%q) accepted", bad)
+		}
+	}
+}
+
+// TestNewRejects covers constructor error branches.
+func TestNewRejects(t *testing.T) {
+	m := stencil.Mesh{NX: 2, NY: 2, NZ: 8}
+	norm, _ := stencil.Poisson(m, 1).Normalize()
+	h := stencil.NewOp7Half(norm)
+	if _, err := New(Config{Grid: Topology{3, 1}}, h); err == nil {
+		t.Error("grid wider than mesh accepted")
+	}
+	modd := stencil.Mesh{NX: 4, NY: 4, NZ: 5}
+	nodd, _ := stencil.Poisson(modd, 1).Normalize()
+	if _, err := New(Config{Grid: Topology{2, 1}}, stencil.NewOp7Half(nodd)); err == nil {
+		t.Error("odd Z accepted")
+	}
+}
+
+// TestCloseReleasesGoroutines pins pool hygiene across a multi-machine
+// cluster with sharded engines.
+func TestCloseReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	h, _, b, _ := testProblem(t, 4, 4, 8, 17)
+	c, err := New(Config{Grid: Topology{2, 2}, Workers: 4}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Solve(b, kernels.WSEOptions{MaxIter: 2}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutines: %d before, %d after Close", before, g)
+	}
+}
+
+// TestInterconnectModel pins the transfer-time arithmetic the cycle
+// account and perfmodel projections share.
+func TestInterconnectModel(t *testing.T) {
+	ic := DefaultInterconnect()
+	if got := ic.TransferSeconds(0); got != ic.LatencySec {
+		t.Errorf("zero-byte transfer = %g, want latency %g", got, ic.LatencySec)
+	}
+	// 1.2 Tb/s moves 150 GB/s: 1.5e11 bytes in one second plus latency.
+	sec := ic.TransferSeconds(150e9)
+	if math.Abs(sec-(1+ic.LatencySec)) > 1e-9 {
+		t.Errorf("150 GB transfer = %g s, want ~1 s", sec)
+	}
+}

@@ -56,7 +56,12 @@ func (w WSE) PeakFlops() float64 {
 //   - the broadcast returns over ⌊w/2⌋ + ⌊h/2⌋ hops to the far corner;
 //   - a small constant covers the phase hand-offs plus the 4:1 quad
 //     reduction, which has one more serialized operand per even
-//     dimension (3 + 2·evens).
+//     dimension (3 + 2·evens);
+//   - a dimension of extent ≤ 2 consists entirely of central lines, so
+//     its reduction phase vanishes — and with it one phase hand-off
+//     (−1 per such dimension). Degenerate fabrics this narrow appear
+//     when the multiwafer backend cuts a small mesh finely; the paper
+//     wafer never hits this branch.
 //
 // The formula reproduces the simulator exactly on every shape measured
 // (see TestAllReduceModelMatchesSimulator). On even×even fabrics it
@@ -81,7 +86,14 @@ func (w WSE) AllReduceCycles() float64 {
 	if w.H%2 == 0 {
 		evens++
 	}
-	return float64(drain(w.W) + drain(w.H) + w.W/2 + w.H/2 + 3 + 2*evens)
+	narrow := 0
+	if w.W <= 2 {
+		narrow++
+	}
+	if w.H <= 2 {
+		narrow++
+	}
+	return float64(drain(w.W) + drain(w.H) + w.W/2 + w.H/2 + 3 + 2*evens - narrow)
 }
 
 // AllReduceSeconds converts AllReduceCycles to wall clock.

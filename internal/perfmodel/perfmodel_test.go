@@ -80,6 +80,9 @@ func TestAllReduceModelMatchesSimulator(t *testing.T) {
 	for _, dims := range [][2]int{
 		{8, 8}, {16, 16}, {32, 24}, {48, 48}, {10, 30}, // even × even
 		{17, 16}, {33, 24}, {9, 9}, {32, 25}, {47, 48}, {49, 49}, // odd shapes
+		// Narrow fabrics (a dimension ≤ 2 is all central lines): the
+		// degenerate wafers a fine multiwafer split produces.
+		{1, 1}, {2, 2}, {1, 2}, {2, 6}, {6, 2}, {2, 5}, {1, 9}, {8, 1}, {4, 2},
 	} {
 		mach := wse.New(wse.CS1(dims[0], dims[1]))
 		ar, err := kernels.NewAllReduce(mach, 0)

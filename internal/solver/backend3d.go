@@ -1,0 +1,64 @@
+package solver
+
+import (
+	"fmt"
+
+	"repro/internal/stencil"
+)
+
+// Backend3D solves A·x = b for a unit-diagonal 7-point operator on a 3D
+// mesh — the 3D counterpart of Backend2D, and the seam the execution
+// substrates plug into: HostBackend3D below runs the generic BiCGStab
+// in a chosen precision context in-process, and
+// internal/multiwafer.Backend runs the mixed-precision solve across a
+// grid of cycle-simulated wafers. core.Solve routes its backends
+// through this interface, so adding an execution substrate means
+// implementing it (see docs/ARCHITECTURE.md, "adding a backend").
+//
+// x0 is the initial guess; backends may require x0 = 0 (the wafer
+// solvers start from zero, as the paper's does). The returned Stats
+// carry the iterative residual history for convergence comparisons
+// across backends.
+type Backend3D interface {
+	Name() string
+	Solve3D(op *stencil.Op7, b, x0 []float64, opts Options) ([]float64, Stats, error)
+}
+
+// HostBackend3D is the in-process reference backend over a precision
+// context; the zero value solves in float64.
+type HostBackend3D struct {
+	// Context selects the arithmetic; nil means NewF64().
+	Context Context
+}
+
+// Name implements Backend3D.
+func (h HostBackend3D) Name() string {
+	if h.Context == nil {
+		return "host/fp64"
+	}
+	return "host/" + h.Context.Name()
+}
+
+// Solve3D implements Backend3D with the generic BiCGStab.
+func (h HostBackend3D) Solve3D(op *stencil.Op7, b, x0 []float64, opts Options) ([]float64, Stats, error) {
+	ctx := h.Context
+	if ctx == nil {
+		ctx = NewF64()
+	}
+	n := op.M.N()
+	if len(b) != n || len(x0) != n {
+		return nil, Stats{}, fmt.Errorf("solver: system size mismatch: mesh %d, b %d, x0 %d", n, len(b), len(x0))
+	}
+	a := ctx.NewOperator(op)
+	bv := ctx.NewVector(n)
+	xv := ctx.NewVector(n)
+	for i := range b {
+		bv.Set(i, b[i])
+		xv.Set(i, x0[i])
+	}
+	st, err := BiCGStab(ctx, a, bv, xv, opts)
+	if err != nil {
+		return nil, st, err
+	}
+	return xv.Float64(), st, nil
+}

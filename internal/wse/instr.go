@@ -183,6 +183,36 @@ func (s *StreamAdd) Step(c *Core, lanes int) int {
 	return used
 }
 
+// --------------------------------------------------------------- StreamStore
+
+// StreamStore copies a streaming source into memory verbatim: dst[] =
+// rx[], with no arithmetic and therefore no rounding — the receive half
+// of a halo transfer whose values must land bit-exactly (the
+// decomposition-invariance contract of the halo-resident SpMV depends
+// on a stream hop preserving bits the way a host-side edge-I/O copy
+// does). Costs one lane per element, like the other elementwise moves.
+type StreamStore struct {
+	Src   ElemSource
+	Dst   tensor.Descriptor
+	Arena *tensor.Arena
+	Total int
+	done  int
+}
+
+// Done implements Instr.
+func (s *StreamStore) Done() bool { return s.done >= s.Total }
+
+// Step implements Instr.
+func (s *StreamStore) Step(c *Core, lanes int) int {
+	used := 0
+	for used < lanes && s.done < s.Total && s.Src.avail() > 0 {
+		s.Arena.Set(s.Dst.Next(), s.Src.take())
+		s.done++
+		used++
+	}
+	return used
+}
+
 // --------------------------------------------------------------- FIFOAdd
 
 // FIFOAdd drains whatever a FIFO currently holds into an accumulator,
