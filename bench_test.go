@@ -620,3 +620,43 @@ func BenchmarkAblation_FIFODepth(b *testing.B) {
 	b.ReportMetric(deep, "cycles-depth8")
 	b.ReportMetric(shallow/deep, "depth1/depth8")
 }
+
+// BenchmarkSnapshot measures the checkpoint path — Snapshot, binary
+// encode, decode, Restore — on a loaded 128×128 wafer (256 arena words
+// on each of the 16k tiles, the footprint class of the 2D cavity's
+// pressure solver). This is the per-checkpoint cost a crash-recoverable
+// solve pays every -checkpoint-every iterations; the bench-regression
+// gate keys on the sub-name.
+func BenchmarkSnapshot(b *testing.B) {
+	mach := wse.New(wse.CS1(128, 128))
+	defer mach.Close()
+	const words = 256
+	for i, tl := range mach.Tiles {
+		base := tl.Arena.MustAlloc("v", words)
+		for k := 0; k < words; k++ {
+			tl.Arena.Set(base+k, fp16.FromFloat64(float64((i+k)%97)*0.25))
+		}
+	}
+	b.Run("128x128/roundtrip", func(b *testing.B) {
+		var blobLen int
+		for i := 0; i < b.N; i++ {
+			snap, err := mach.Snapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			blob, err := snap.MarshalBinary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			dec, err := wse.UnmarshalSnapshot(blob)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := mach.Restore(dec); err != nil {
+				b.Fatal(err)
+			}
+			blobLen = len(blob)
+		}
+		b.ReportMetric(float64(blobLen), "snapshot-bytes")
+	})
+}

@@ -23,11 +23,20 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/kernels"
 	"repro/internal/mfix"
 	"repro/internal/wse"
 )
+
+// fatalUsage reports a flag-validation error with the usage text and a
+// non-zero exit.
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cavity: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
 
 func main() {
 	dim := flag.Int("dim", 2, "cavity dimensionality: 2 (wafer-capable) or 3 (host only)")
@@ -39,15 +48,18 @@ func main() {
 	workers := flag.Int("workers", 1, "wse backend: simulation engine workers (>1 shards the fabric)")
 	flag.Parse()
 
+	if *n <= 0 || *iters <= 0 {
+		fatalUsage("-n and -iters must be positive (got n=%d, iters=%d)", *n, *iters)
+	}
 	if *dim == 3 {
 		if *backend != "host" {
-			log.Fatalf("the 3D cavity has no %q backend; the wafer path is the 2D block-halo mapping", *backend)
+			fatalUsage("the 3D cavity has no %q backend; the wafer path is the 2D block-halo mapping", *backend)
 		}
 		run3D(*n, *re, *iters)
 		return
 	}
 	if *dim != 2 {
-		log.Fatalf("unsupported -dim=%d", *dim)
+		fatalUsage("unsupported -dim=%d", *dim)
 	}
 
 	c := mfix.NewCavity2D(*n, *re)
@@ -55,8 +67,11 @@ func main() {
 	switch *backend {
 	case "host":
 	case "wse":
+		if *block <= 0 {
+			fatalUsage("-block must be positive; got %d", *block)
+		}
 		if *n%*block != 0 {
-			log.Fatalf("n=%d does not tile into %d×%d blocks", *n, *block, *block)
+			fatalUsage("n=%d does not tile into %d×%d blocks", *n, *block, *block)
 		}
 		cfg := wse.CS1(*n / *block, *n / *block)
 		cfg.Workers = *workers
@@ -69,7 +84,7 @@ func main() {
 		fmt.Printf("pressure solve on simulated %d×%d fabric (%s engine), %d×%d blocks\n",
 			cfg.FabricW, cfg.FabricH, mach.Fab.StepperName(), *block, *block)
 	default:
-		log.Fatalf("unknown backend %q", *backend)
+		fatalUsage("unknown backend %q", *backend)
 	}
 
 	res, err := c.Run(*iters)

@@ -26,6 +26,11 @@ func main() {
 		"experiment: table1|headline|allreduce|paperallreduce|multiwafer|fig7|fig8|fig9|table2|spmv2d|cavity2d|fig1|memory|routing|all")
 	fig9N := flag.Int("fig9n", 25, "fig9 mesh scale: runs 25×100×25 by default (paper: 100×400×100)")
 	flag.Parse()
+	if *fig9N <= 0 {
+		fmt.Fprintf(os.Stderr, "repro: -fig9n must be positive; got %d\n", *fig9N)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	runs := []struct {
 		name string
@@ -71,7 +76,8 @@ func main() {
 		fmt.Println(r.fn())
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "repro: unknown experiment %q\n", *exp)
+		flag.Usage()
 		os.Exit(2)
 	}
 }

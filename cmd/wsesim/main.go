@@ -19,6 +19,12 @@
 //
 //	wsesim -nx 16 -ny 16 -nz 64 -problem momentum
 //	wsesim -nx 64 -ny 64 -nz 64 -wafers 2x1 -iters 5
+//
+// Single-wafer solves are crash-recoverable: -checkpoint FILE writes an
+// encoded machine snapshot every -checkpoint-every iterations, and
+// -resume FILE restarts from one (run with the same mesh and problem
+// flags); the resumed solve reproduces the uninterrupted one bit for
+// bit. See docs/ARCHITECTURE.md, "Snapshots & exact reductions".
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"runtime"
 
 	"repro/internal/core"
@@ -33,6 +40,15 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/stencil"
 )
+
+// fatalUsage reports a flag-validation error with the usage text and a
+// non-zero exit, so bad invocations fail loudly instead of panicking
+// somewhere inside the simulator.
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wsesim: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
 
 func main() {
 	nx := flag.Int("nx", 8, "fabric/mesh width")
@@ -45,7 +61,28 @@ func main() {
 		"wafer grid WxH: run the multiwafer cluster backend instead of a single wafer (e.g. 2x1)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"simulation worker goroutines (>1 shards each fabric on a persistent pool; results are bit-identical)")
+	ckptPath := flag.String("checkpoint", "",
+		"write a crash-recovery checkpoint to this file every -checkpoint-every iterations (single-wafer only)")
+	ckptEvery := flag.Int("checkpoint-every", 10, "iterations between checkpoints when -checkpoint is set")
+	resumePath := flag.String("resume", "",
+		"resume a single-wafer solve from this checkpoint file (same mesh/problem flags as the checkpointed run)")
 	flag.Parse()
+
+	if *nx <= 0 || *ny <= 0 || *nz <= 0 {
+		fatalUsage("mesh dimensions must be positive (got %dx%dx%d)", *nx, *ny, *nz)
+	}
+	if *nz%2 != 0 {
+		fatalUsage("-nz must be even (fp16 words stream in pairs); got %d", *nz)
+	}
+	if *iters <= 0 {
+		fatalUsage("-iters must be positive; got %d", *iters)
+	}
+	if *ckptEvery <= 0 {
+		fatalUsage("-checkpoint-every must be positive; got %d", *ckptEvery)
+	}
+	if *wafers != "" && (*ckptPath != "" || *resumePath != "") {
+		fatalUsage("-checkpoint/-resume are single-wafer only; drop -wafers")
+	}
 
 	m := stencil.Mesh{NX: *nx, NY: *ny, NZ: *nz}
 	var op *stencil.Op7
@@ -54,8 +91,10 @@ func main() {
 		op = stencil.Poisson(m, 1)
 	case "random":
 		op = stencil.RandomDiagDominant(m, 1.5, rand.New(rand.NewSource(1)))
-	default:
+	case "momentum":
 		op = stencil.MomentumLike(m, 0.02, [3]float64{1, 0.2, -0.1}, 0.1, 1, 0.1)
+	default:
+		fatalUsage("unknown -problem %q (want poisson, momentum or random)", *problem)
 	}
 	xe := make([]float64, m.N())
 	rng := rand.New(rand.NewSource(7))
@@ -68,14 +107,42 @@ func main() {
 	if *wafers != "" {
 		grid, err := multiwafer.ParseTopology(*wafers)
 		if err != nil {
-			log.Fatal(err)
+			fatalUsage("bad -wafers: %v", err)
 		}
 		opts.Backend = core.MultiWafer
 		opts.Wafers = grid
 	}
+	written := 0
+	if *ckptPath != "" {
+		opts.CheckpointEvery = *ckptEvery
+		opts.Checkpoint = func(blob []byte) error {
+			// Write-then-rename, so a crash mid-write leaves the previous
+			// checkpoint intact.
+			tmp := *ckptPath + ".tmp"
+			if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+				return err
+			}
+			if err := os.Rename(tmp, *ckptPath); err != nil {
+				return err
+			}
+			written++
+			return nil
+		}
+	}
+	if *resumePath != "" {
+		blob, err := os.ReadFile(*resumePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Resume = blob
+		fmt.Printf("resuming from %s (%d bytes)\n", *resumePath, len(blob))
+	}
 	res, err := core.Solve(p, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if written > 0 {
+		fmt.Printf("wrote %d checkpoint(s) to %s\n", written, *ckptPath)
 	}
 
 	const clock = 1.1e9

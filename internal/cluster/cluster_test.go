@@ -1,10 +1,11 @@
-package cluster
+package cluster_test
 
 import (
 	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/solver"
 	"repro/internal/stencil"
 )
@@ -12,14 +13,14 @@ import (
 func TestDecompose3D(t *testing.T) {
 	m := stencil.Mesh{NX: 64, NY: 64, NZ: 64}
 	for _, p := range []int{1, 2, 4, 8, 16, 64, 512} {
-		px, py, pz := Decompose3D(m, p)
+		px, py, pz := cluster.Decompose3D(m, p)
 		if px*py*pz != p {
 			t.Errorf("p=%d: %d×%d×%d does not multiply out", p, px, py, pz)
 		}
 	}
 	// A flat mesh should not be cut along its thin axis.
 	flat := stencil.Mesh{NX: 128, NY: 128, NZ: 2}
-	px, py, pz := Decompose3D(flat, 16)
+	px, py, pz := cluster.Decompose3D(flat, 16)
 	if pz > 2 {
 		t.Errorf("thin axis over-decomposed: %d×%d×%d", px, py, pz)
 	}
@@ -52,7 +53,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 
 	for _, ranks := range []int{1, 2, 4, 8} {
-		x, hist, err := ParallelBiCGStab(norm, sb, ranks, 40, 1e-10)
+		x, hist, err := cluster.ParallelBiCGStab(norm, sb, ranks, 40, 1e-10)
 		if err != nil {
 			t.Fatalf("ranks=%d: %v", ranks, err)
 		}
@@ -88,11 +89,11 @@ func TestParallelDeterministic(t *testing.T) {
 	for i := range b {
 		b[i] = rng.NormFloat64()
 	}
-	x1, h1, err := ParallelBiCGStab(norm, b, 8, 15, 0)
+	x1, h1, err := cluster.ParallelBiCGStab(norm, b, 8, 15, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	x2, h2, err := ParallelBiCGStab(norm, b, 8, 15, 0)
+	x2, h2, err := cluster.ParallelBiCGStab(norm, b, 8, 15, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,13 +111,13 @@ func TestParallelDeterministic(t *testing.T) {
 
 func TestJouleCalibration(t *testing.T) {
 	// The timing model must hit the two published anchors.
-	if err := Joule().Validate(0.1); err != nil {
+	if err := cluster.Joule().Validate(0.1); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestFig8Scaling600(t *testing.T) {
-	pts := StrongScaling(Joule(), Fig8Mesh, PublishedCores)
+	pts := cluster.StrongScaling(cluster.Joule(), cluster.Fig8Mesh, cluster.PublishedCores)
 	t0 := pts[0].Seconds
 	tEnd := pts[len(pts)-1].Seconds
 	t.Logf("600³: 1024 cores %.1f ms ... 16384 cores %.2f ms", t0*1e3, tEnd*1e3)
@@ -139,7 +140,7 @@ func TestFig8Scaling600(t *testing.T) {
 
 func TestFig7ScalingStalls370(t *testing.T) {
 	// "The failure to scale beyond 8K cores on the smaller mesh."
-	pts := StrongScaling(Joule(), Fig7Mesh, PublishedCores)
+	pts := cluster.StrongScaling(cluster.Joule(), cluster.Fig7Mesh, cluster.PublishedCores)
 	var t8k, t16k float64
 	for _, p := range pts {
 		t.Logf("370³: %5d cores %.2f ms (mem %.2f, coll %.2f)",
@@ -155,7 +156,7 @@ func TestFig7ScalingStalls370(t *testing.T) {
 		t.Errorf("370³ gains %.2f× from 8K→16K; paper says scaling fails beyond 8K", gain)
 	}
 	// The larger mesh must still be scaling over the same step.
-	p6 := StrongScaling(Joule(), Fig8Mesh, []int{8192, 16384})
+	p6 := cluster.StrongScaling(cluster.Joule(), cluster.Fig8Mesh, []int{8192, 16384})
 	if gain := p6[0].Seconds / p6[1].Seconds; gain < 1.3 {
 		t.Errorf("600³ should still gain meaningfully 8K→16K, got %.2f×", gain)
 	}
@@ -164,7 +165,7 @@ func TestFig7ScalingStalls370(t *testing.T) {
 func TestCS1SpeedupVsCluster(t *testing.T) {
 	// §V-A: the 16K-core Joule iteration is ~214× slower than the CS-1's
 	// 28.1 µs (on a mesh with more than twice as many meshpoints).
-	tJoule := Joule().IterationTime(Fig8Mesh, 16384).Total()
+	tJoule := cluster.Joule().IterationTime(cluster.Fig8Mesh, 16384).Total()
 	ratio := tJoule / 28.1e-6
 	t.Logf("Joule 600³ @16K: %.2f ms = %.0f× CS-1", tJoule*1e3, ratio)
 	if ratio < 150 || ratio > 280 {
@@ -173,7 +174,7 @@ func TestCS1SpeedupVsCluster(t *testing.T) {
 }
 
 func TestBreakdownComposition(t *testing.T) {
-	b := Joule().IterationTime(Fig8Mesh, 4096)
+	b := cluster.Joule().IterationTime(cluster.Fig8Mesh, 4096)
 	if b.Mem <= 0 || b.Flop <= 0 || b.Halo <= 0 || b.Coll <= 0 {
 		t.Fatalf("all components must be positive: %+v", b)
 	}

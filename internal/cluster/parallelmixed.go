@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/fp16"
+	"repro/internal/stencil"
+)
+
+// ParallelBiCGStabMixed runs the mixed-precision BiCGStab solve
+// SPMD-style over goroutine-ranks: fp16 storage and vector arithmetic,
+// per-column float32 dot partials (the wafer's per-tile mixed FMAC
+// accumulation), and an exactly rounded combine of the partials — the
+// rank-parallel image of the single-wafer solver.
+//
+// Determinism contract: the residual history and solution are
+// bit-identical across runs, across rank counts, AND across backends —
+// the ranks partition the mesh's NX·NY tile-columns, every fp16
+// operation replicates the wafer instruction semantics element-for-
+// element (stencil.Op7Half.Apply's rounding order for the SpMV, the
+// FMA forms of the AXPY-class updates), and every dot is the exactly
+// rounded sum of the same per-column float32 partials the wafer's tiles
+// produce. The cross-backend golden in internal/core enforces this
+// against the host chunked-mixed context, the single-wafer halo solver
+// and the multi-wafer backend.
+//
+// It returns the solution and the per-iteration relative residual
+// history. maxIter <= 0 defaults to 100, matching the wafer solver.
+func ParallelBiCGStabMixed(op *stencil.Op7Half, b []fp16.Float16, ranks, maxIter int, tol float64) ([]fp16.Float16, []float64, error) {
+	m := op.M
+	n := m.N()
+	if len(b) != n {
+		return nil, nil, fmt.Errorf("cluster: rhs length %d, want %d", len(b), n)
+	}
+	cols := m.NX * m.NY
+	if ranks < 1 || ranks > cols {
+		return nil, nil, fmt.Errorf("cluster: %d ranks for %d tile-columns", ranks, cols)
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	nz := m.NZ
+
+	// Shared solver state. Each rank writes only its own columns of the
+	// vectors and its own entries of partials; cross-rank reads are
+	// separated from those writes by the phase barriers below.
+	x := make([]fp16.Float16, n)
+	r0 := make([]fp16.Float16, n)
+	r := make([]fp16.Float16, n)
+	p := make([]fp16.Float16, n)
+	s := make([]fp16.Float16, n)
+	q := make([]fp16.Float16, n)
+	y := make([]fp16.Float16, n)
+	partials := make([]float32, cols) // canonical column order
+	bar := newPhaseBarrier(ranks)
+	// Column-range boundaries: bounds[rk]..bounds[rk+1] for rank rk.
+	bounds := make([]int, ranks+1)
+	for i, sz := range SplitExtent(cols, ranks) {
+		bounds[i+1] = bounds[i] + sz
+	}
+
+	var history []float64 // written by rank 0 only
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	wg.Add(ranks)
+	for rk := 0; rk < ranks; rk++ {
+		go func(rk int) {
+			defer wg.Done()
+			colLo, colHi := bounds[rk], bounds[rk+1]
+			lo, hi := colLo*nz, colHi*nz
+
+			// dot computes the per-column float32 partials for this
+			// rank's columns, then every rank reads the exactly rounded
+			// combine of all of them. The partials are in canonical
+			// column order — identical to the wafer's fabric row-major
+			// per-tile partials — so the combined value matches the
+			// wafer's bit-for-bit. Barriers: one so all partials are
+			// written before any rank combines, one so no rank starts the
+			// next dot while another still reads.
+			dot := func(a, bb []fp16.Float16) float64 {
+				for c := colLo; c < colHi; c++ {
+					var acc float32
+					base := c * nz
+					for k := 0; k < nz; k++ {
+						acc = fp16.MixedFMAC(acc, a[base+k], bb[base+k])
+					}
+					partials[c] = acc
+				}
+				bar.wait()
+				v := ExactSum32(partials)
+				bar.wait()
+				return v
+			}
+
+			// spmv replicates stencil.Op7Half.Apply exactly for this
+			// rank's columns (reads of src cross rank boundaries; the
+			// loop-top barrier orders them after the owners' writes).
+			spmv := func(dst, src []fp16.Float16) {
+				for c := colLo; c < colHi; c++ {
+					cx, cy := c%m.NX, c/m.NX
+					base := c * nz
+					for z := 0; z < nz; z++ {
+						i := base + z
+						acc := fp16.Zero
+						if z > 0 {
+							acc = fp16.Mul(op.ZM[i], src[i-1])
+						}
+						if z+1 < nz {
+							acc = fp16.Add(acc, fp16.Mul(op.ZP[i], src[i+1]))
+						}
+						if cx+1 < m.NX {
+							acc = fp16.Add(acc, fp16.Mul(op.XP[i], src[i+nz]))
+						}
+						if cx > 0 {
+							acc = fp16.Add(acc, fp16.Mul(op.XM[i], src[i-nz]))
+						}
+						if cy+1 < m.NY {
+							acc = fp16.Add(acc, fp16.Mul(op.YP[i], src[i+m.NX*nz]))
+						}
+						if cy > 0 {
+							acc = fp16.Add(acc, fp16.Mul(op.YM[i], src[i-m.NX*nz]))
+						}
+						dst[i] = fp16.Add(acc, src[i]) // unit main diagonal
+					}
+				}
+			}
+
+			// resNorm is the float64 diagnostic ‖r‖₂ every rank computes
+			// over the whole vector in canonical order (the wafer's
+			// residualNorm), so the tol branch is uniform across ranks.
+			resNorm := func() float64 {
+				var sum float64
+				for i := range r {
+					v := r[i].Float64()
+					sum += v * v
+				}
+				return math.Sqrt(sum)
+			}
+
+			// Initialize own columns: x = 0, r = r0 = p = b.
+			for i := lo; i < hi; i++ {
+				x[i] = fp16.Zero
+				r0[i] = b[i]
+				r[i] = b[i]
+				p[i] = b[i]
+			}
+
+			bb := dot(b, b)
+			bnorm := math.Sqrt(bb)
+			if bnorm == 0 {
+				errs[rk] = fmt.Errorf("cluster: zero right-hand side")
+				return
+			}
+			rho := bb
+
+			for it := 0; it < maxIter; it++ {
+				bar.wait() // own p/q writes visible before cross-rank spmv reads
+
+				// s := A p;  α := ρ / (r0, s)
+				spmv(s, p)
+				r0s := dot(r0, s)
+				if r0s == 0 {
+					return // breakdown, uniform across ranks
+				}
+				alpha := rho / r0s
+
+				// q := r − α s
+				ah := fp16.FromFloat64(-alpha)
+				for i := lo; i < hi; i++ {
+					q[i] = fp16.FMA(ah, s[i], r[i])
+				}
+				bar.wait() // q read cross-rank by the next spmv
+
+				// y := A q;  ω := (q, y) / (y, y)
+				spmv(y, q)
+				qy := dot(q, y)
+				yy := dot(y, y)
+				if yy == 0 {
+					ah := fp16.FromFloat64(alpha)
+					for i := lo; i < hi; i++ {
+						x[i] = fp16.FMA(ah, p[i], x[i])
+					}
+					return
+				}
+				omega := qy / yy
+
+				// x := x + α p + ω q  (two FMAs, as on the wafer)
+				ah = fp16.FromFloat64(alpha)
+				oh := fp16.FromFloat64(omega)
+				for i := lo; i < hi; i++ {
+					x[i] = fp16.FMA(ah, p[i], x[i])
+				}
+				for i := lo; i < hi; i++ {
+					x[i] = fp16.FMA(oh, q[i], x[i])
+				}
+				// r := q − ω y
+				noh := fp16.FromFloat64(-omega)
+				for i := lo; i < hi; i++ {
+					r[i] = fp16.FMA(noh, y[i], q[i])
+				}
+				bar.wait() // all r writes visible before every rank's resNorm
+
+				rel := resNorm() / bnorm
+				if rk == 0 {
+					history = append(history, rel)
+				}
+				if tol > 0 && rel <= tol {
+					return
+				}
+
+				// β := (α/ω) (r0, r_new)/(r0, r_old)
+				rr := dot(r0, r)
+				if rho == 0 || omega == 0 {
+					return
+				}
+				beta := (alpha / omega) * (rr / rho)
+				rho = rr
+
+				// p := r + β (p − ω s)
+				for i := lo; i < hi; i++ {
+					p[i] = fp16.FMA(noh, s[i], p[i])
+				}
+				bh := fp16.FromFloat64(beta)
+				for i := lo; i < hi; i++ {
+					p[i] = fp16.FMA(bh, p[i], r[i])
+				}
+			}
+		}(rk)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return x, history, nil
+}
+
+// phaseBarrier is a reusable (cyclic) barrier for the SPMD phases.
+type phaseBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ranks int
+	count int
+	gen   int
+}
+
+func newPhaseBarrier(ranks int) *phaseBarrier {
+	b := &phaseBarrier{ranks: ranks}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *phaseBarrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.ranks {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

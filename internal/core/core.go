@@ -101,6 +101,15 @@ type Options struct {
 	// Wafers is the MultiWafer backend's wafer grid; the zero value
 	// means a single wafer.
 	Wafers multiwafer.Topology
+	// CheckpointEvery and Checkpoint enable crash-recoverable solves on
+	// the Wafer backend: every CheckpointEvery iterations the callback
+	// receives an encoded kernels.WSECheckpoint (machine snapshot plus
+	// recurrence scalars). Resume restarts a solve from such a blob; the
+	// problem and RHS must match the checkpointed solve. Other backends
+	// reject these options.
+	CheckpointEvery int
+	Checkpoint      func([]byte) error
+	Resume          []byte
 }
 
 // Result reports a solve.
@@ -129,6 +138,9 @@ func Solve(p Problem, o Options) (Result, error) {
 	norm, diag := p.Op.Normalize()
 	sb := stencil.ScaleRHS(p.B, diag)
 	var res Result
+	if (o.CheckpointEvery > 0 || o.Checkpoint != nil || o.Resume != nil) && o.Backend != Wafer {
+		return res, fmt.Errorf("core: checkpoint/resume requires the Wafer backend")
+	}
 	switch o.Backend {
 	case Local:
 		ctx := o.Precision.context()
@@ -162,6 +174,7 @@ func Solve(p Problem, o Options) (Result, error) {
 		}
 		x16, st, err := w.Solve(fp16.FromFloat64Slice(sb), kernels.WSEOptions{
 			MaxIter: o.MaxIter, Tol: o.Tol,
+			CheckpointEvery: o.CheckpointEvery, Checkpoint: o.Checkpoint, Resume: o.Resume,
 		})
 		if err != nil {
 			return res, err
@@ -179,8 +192,7 @@ func Solve(p Problem, o Options) (Result, error) {
 		if grid.W == 0 {
 			grid = multiwafer.Topology{W: 1, H: 1}
 		}
-		var mwStats multiwafer.Stats
-		be := multiwafer.Backend{Grid: grid, Workers: o.Workers, LastStats: &mwStats}
+		be := &multiwafer.Backend{Grid: grid, Workers: o.Workers}
 		x, st, err := be.Solve3D(norm, sb, make([]float64, len(sb)), solver.Options{
 			MaxIter: o.MaxIter, Tol: o.Tol, RecordHistory: true,
 		})
@@ -192,7 +204,9 @@ func Solve(p Problem, o Options) (Result, error) {
 		res.Converged = st.Converged
 		res.Breakdown = st.Breakdown
 		res.History = st.History
-		res.MultiWafer = &mwStats
+		if mw, ok := be.Stats(); ok {
+			res.MultiWafer = &mw
+		}
 
 	case Cluster:
 		ranks := o.Ranks

@@ -32,7 +32,8 @@ type BiCGStabWSE struct {
 	M    *wse.Machine
 	Mesh stencil.Mesh
 
-	spmv *SpMV3D
+	spmv *SpMV3D     // Listing 1 FIFO pipeline (default)
+	halo *SpMV3DHalo // deterministic halo-exchange SpMV (NewBiCGStabWSEHalo)
 	eng  *wseBiCG
 }
 
@@ -51,6 +52,30 @@ func NewBiCGStabWSE(m *wse.Machine, op *stencil.Op7Half) (*BiCGStabWSE, error) {
 	return b, nil
 }
 
+// NewBiCGStabWSEHalo builds the solver with the halo-exchange SpMV
+// (SpMV3DHalo) instead of the Listing 1 FIFO pipeline. The halo SpMV
+// applies the stencil in stencil.Op7Half.Apply's exact rounding order,
+// so — combined with the exactly rounded dots — this variant's residual
+// history is bit-identical to the host mixed-precision solver, the
+// rank-parallel cluster solver and the multi-wafer backend on the same
+// problem. On a full-mesh single wafer every in-mesh neighbour is
+// on-fabric and off-mesh halos stay zero, so no host-side halo exchange
+// is needed. The Listing 1 pipeline remains the paper's default
+// (core.BackendWafer); this variant exists for cross-backend
+// bit-comparison and byte-stable checkpoints.
+func NewBiCGStabWSEHalo(m *wse.Machine, op *stencil.Op7Half) (*BiCGStabWSE, error) {
+	halo, err := NewSpMV3DHalo(m, op, 0, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	b := &BiCGStabWSE{M: m, Mesh: op.M, halo: halo}
+	b.eng, err = newWSEBiCG(m, op.M.NZ, NumStencil2DColors, b.runSpMVHalo)
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
 // WSEStats reports a wafer solve.
 type WSEStats struct {
 	Iterations int
@@ -60,9 +85,21 @@ type WSEStats struct {
 	// in float64 from the fp16 recurrence residual.
 	History []float64
 	// Cycles accumulates per-phase cycle counts across all iterations.
+	// The setup ‖b‖² dot is excluded (see SetupCycles), matching the
+	// multi-wafer backend's accounting.
 	Cycles PhaseCycles
 	// PerIteration is the mean cycle breakdown per iteration.
 	PerIteration PhaseCycles
+	// SetupCycles is the one-time ‖b‖² dot + AllReduce before the first
+	// iteration, kept out of Cycles/PerIteration so per-iteration numbers
+	// match the paper's steady-state model.
+	SetupCycles int64
+	// MaxARDrift is the largest observed |fabric AllReduce − exact sum|
+	// across all dots, as a fraction of the paper's AllReduce error-model
+	// bound (≤ 1 means every fabric reduction stayed within model). The
+	// solver consumes the exact sum; this measures what tree-order
+	// summation would have perturbed.
+	MaxARDrift float64
 }
 
 // WSEOptions controls the wafer solve.
@@ -70,6 +107,16 @@ type WSEOptions struct {
 	MaxIter int
 	// Tol stops when ‖r‖/‖b‖ falls below it; 0 runs MaxIter iterations.
 	Tol float64
+	// CheckpointEvery > 0 with a non-nil Checkpoint cuts an encoded
+	// WSECheckpoint at the top of every CheckpointEvery-th iteration and
+	// passes it to the callback; a callback error aborts the solve.
+	CheckpointEvery int
+	Checkpoint      func([]byte) error
+	// Resume, if non-nil, is an encoded WSECheckpoint: the solve restores
+	// the machine snapshot and continues from the captured iteration,
+	// bit-identically to the uninterrupted solve. The right-hand side
+	// must be the one the checkpointed solve was started with.
+	Resume []byte
 }
 
 // Solve runs BiCGStab for the right-hand side b (mesh-indexed, fp16) with
@@ -106,6 +153,25 @@ func (w *BiCGStabWSE) runSpMV(src, dst []int, acc *int64) error {
 		for zz := 0; zz < z; zz++ {
 			t.Arena.Set(dst[i]+zz, t.Arena.At(st.offU+1+zz))
 		}
+	}
+	return nil
+}
+
+// runSpMVHalo is runSpMV for the halo-exchange pipeline. Mesh-boundary
+// halos are never written and stay zero, which is exactly the stencil's
+// boundary condition on a full-mesh wafer.
+func (w *BiCGStabWSE) runSpMVHalo(src, dst []int, acc *int64) error {
+	z := w.Mesh.NZ
+	for i, t := range w.M.Tiles {
+		copy(w.halo.Iterate(i), t.Arena.Slice(src[i], z))
+	}
+	cycles, err := w.halo.Run(int64(z)*1000 + 1<<20)
+	if err != nil {
+		return err
+	}
+	*acc += cycles
+	for i, t := range w.M.Tiles {
+		copy(t.Arena.Slice(dst[i], z), w.halo.Result(i))
 	}
 	return nil
 }

@@ -160,7 +160,10 @@ func (w *Wafer2DBackend) Solve2D(op *stencil.Op9, b, x0 []float64, opts solver.O
 		scaled[i] = fp16.FromFloat64(math.Ldexp(v, -exp))
 	}
 
-	x16, st, err := w.prog.Solve(scaled, WSEOptions{MaxIter: opts.MaxIter, Tol: opts.Tol})
+	x16, st, err := w.prog.Solve(scaled, WSEOptions{
+		MaxIter: opts.MaxIter, Tol: opts.Tol,
+		CheckpointEvery: opts.CheckpointEvery, Checkpoint: opts.Checkpoint, Resume: opts.Resume,
+	})
 	if err != nil {
 		return nil, solver.Stats{}, err
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cluster"
 	"repro/internal/fabric"
 	"repro/internal/fp16"
 	"repro/internal/tensor"
@@ -13,9 +14,15 @@ import (
 // wseBiCG is the wafer BiCGStab engine shared by the 3D (Listing 1) and
 // 2D (block-halo) solvers: the Algorithm 1 control flow over per-tile
 // solver vectors of length n, with a pluggable wafer SpMV. Dots run as
-// the mixed-precision inner-product instruction on every tile with
-// partials combined by the Figure 6 AllReduce at 32 bits; every vector
-// update runs as a SIMD tensor instruction.
+// the mixed-precision inner-product instruction on every tile; the
+// Figure 6 AllReduce still combines the partials on the fabric and is
+// cycle-accounted, but the scalar the solver consumes is the exactly
+// rounded combine (cluster.ExactSum32 over the per-tile partials in
+// canonical tile order), so the wafer backend is bit-comparable to the
+// host, rank-parallel and multi-wafer backends. The fabric tree-order
+// value is cross-checked against the exact one within the paper's
+// AllReduce error model on every dot; every vector update runs as a
+// SIMD tensor instruction.
 //
 // The driver sequences phases globally (the real machine chains them
 // with local task triggers; the difference is a few cycles of
@@ -40,6 +47,11 @@ type wseBiCG struct {
 	partial   []float32 // per-tile dot partials
 	phaseTask []*wse.Task
 	phaseDone []bool
+
+	// maxDrift tracks the largest observed |fabric AllReduce − exact|
+	// across all dots of the current solve, as a fraction of the paper
+	// error-model bound (so ≤ 1 means within model).
+	maxDrift float64
 }
 
 // newWSEBiCG allocates the seven solver vectors on every tile, the
@@ -102,30 +114,64 @@ func (w *wseBiCG) solve(bvec []fp16.Float16, index func(tile, elem int) int, opt
 	}
 	n := w.n
 
-	// Initialize: x = 0, r = r0 = p = b (zero initial guess).
-	for i, t := range w.m.Tiles {
-		a := t.Arena
-		for e := 0; e < n; e++ {
-			v := bvec[index(i, e)]
-			a.Set(w.offX[i]+e, fp16.Zero)
-			a.Set(w.offR0[i]+e, v)
-			a.Set(w.offR[i]+e, v)
-			a.Set(w.offP[i]+e, v)
-		}
-	}
-	st := WSEStats{}
+	var (
+		st      WSEStats
+		bnorm   float64
+		rho     float64
+		startIt int
+	)
+	w.maxDrift = 0
 
-	bb, _, err := w.dotAllReduce(w.offR0, w.offR0) // ‖b‖² (setup, not counted)
-	if err != nil {
-		return nil, st, err
+	if opts.Resume != nil {
+		// Resume a checkpointed solve: the machine snapshot restores
+		// every solver vector (they live in the tile arenas), the
+		// checkpoint header restores the scalar recurrence state, and the
+		// loop continues at the captured iteration — bit-identically to
+		// the uninterrupted solve.
+		cp, err := DecodeWSECheckpoint(opts.Resume)
+		if err != nil {
+			return nil, st, err
+		}
+		snap, err := wse.UnmarshalSnapshot(cp.Machine)
+		if err != nil {
+			return nil, st, err
+		}
+		if err := w.m.Restore(snap); err != nil {
+			return nil, st, err
+		}
+		st = cp.Stats
+		st.PerIteration = PhaseCycles{}
+		bnorm, rho, startIt = cp.BNorm, cp.Rho, cp.Iter
+		w.maxDrift = cp.Stats.MaxARDrift
+	} else {
+		// Initialize: x = 0, r = r0 = p = b (zero initial guess).
+		for i, t := range w.m.Tiles {
+			a := t.Arena
+			for e := 0; e < n; e++ {
+				v := bvec[index(i, e)]
+				a.Set(w.offX[i]+e, fp16.Zero)
+				a.Set(w.offR0[i]+e, v)
+				a.Set(w.offR[i]+e, v)
+				a.Set(w.offP[i]+e, v)
+			}
+		}
+
+		// ‖b‖²: a real dot + AllReduce on the machine, accounted as setup
+		// (outside the per-iteration cycle model, like the other backends).
+		bb, scyc, err := w.dotAllReduce(w.offR0, w.offR0)
+		if err != nil {
+			return nil, st, err
+		}
+		st.SetupCycles = scyc[0] + scyc[1]
+		bnorm = math.Sqrt(bb)
+		if bnorm == 0 {
+			return nil, st, fmt.Errorf("kernels: zero right-hand side")
+		}
+		rho = bb // (r0, r0)
 	}
-	bnorm := math.Sqrt(float64(bb))
-	if bnorm == 0 {
-		return nil, st, fmt.Errorf("kernels: zero right-hand side")
-	}
-	rho := float64(bb) // (r0, r0)
 
 	finish := func() ([]fp16.Float16, WSEStats, error) {
+		st.MaxARDrift = w.maxDrift
 		if st.Iterations > 0 {
 			it := int64(st.Iterations)
 			st.PerIteration = PhaseCycles{
@@ -144,7 +190,18 @@ func (w *wseBiCG) solve(bvec []fp16.Float16, index func(tile, elem int) int, opt
 		return out, st, nil
 	}
 
-	for it := 0; it < opts.MaxIter; it++ {
+	for it := startIt; it < opts.MaxIter; it++ {
+		if opts.Checkpoint != nil && opts.CheckpointEvery > 0 &&
+			it > startIt && it%opts.CheckpointEvery == 0 {
+			st.MaxARDrift = w.maxDrift
+			blob, err := w.checkpoint(it, bnorm, rho, st)
+			if err != nil {
+				return nil, st, err
+			}
+			if err := opts.Checkpoint(blob); err != nil {
+				return nil, st, fmt.Errorf("kernels: checkpoint callback: %w", err)
+			}
+		}
 		st.Iterations = it + 1
 
 		// s := A p
@@ -161,7 +218,7 @@ func (w *wseBiCG) solve(bvec []fp16.Float16, index func(tile, elem int) int, opt
 			st.Breakdown = "r0·Ap = 0"
 			return finish()
 		}
-		alpha := rho / float64(r0s)
+		alpha := rho / r0s
 
 		// q := r − α s
 		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
@@ -192,7 +249,7 @@ func (w *wseBiCG) solve(bvec []fp16.Float16, index func(tile, elem int) int, opt
 			st.Breakdown = "y·y = 0"
 			return finish()
 		}
-		omega := float64(qy) / float64(yy)
+		omega := qy / yy
 
 		// x := x + α p + ω q  (two AXPYs)
 		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
@@ -226,8 +283,8 @@ func (w *wseBiCG) solve(bvec []fp16.Float16, index func(tile, elem int) int, opt
 			st.Breakdown = "rho or omega = 0"
 			return finish()
 		}
-		beta := (alpha / omega) * (float64(rr) / rho)
-		rho = float64(rr)
+		beta := (alpha / omega) * (rr / rho)
+		rho = rr
 
 		// p := r + β (p − ω s)  (two AXPYs)
 		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
@@ -244,9 +301,15 @@ func (w *wseBiCG) solve(bvec []fp16.Float16, index func(tile, elem int) int, opt
 }
 
 // dotAllReduce runs the local mixed-precision dot on every tile, then
-// the wafer AllReduce over the float32 partials. It returns the reduced
-// value and the combined cycles (local dot phase + allreduce).
-func (w *wseBiCG) dotAllReduce(a, b []int) (float32, [2]int64, error) {
+// the wafer AllReduce over the float32 partials. The on-fabric
+// tree-order sum is cycle-accounted and cross-checked, but the value
+// returned to the solver is the exactly rounded combine over the
+// partials: w.partial is in fabric row-major tile order, which is
+// exactly the canonical global order of the per-tile subvectors, so
+// every backend that sums the same partials exactly gets the same bits.
+// It returns the exact sum and the combined cycles (local dot phase +
+// allreduce).
+func (w *wseBiCG) dotAllReduce(a, b []int) (float64, [2]int64, error) {
 	instrs := make([]wse.Instr, len(w.m.Tiles))
 	for i, t := range w.m.Tiles {
 		w.partial[i] = 0
@@ -260,7 +323,46 @@ func (w *wseBiCG) dotAllReduce(a, b []int) (float32, [2]int64, error) {
 	if err != nil {
 		return 0, [2]int64{}, err
 	}
-	return res.Sum, [2]int64{dotCycles, res.Cycles}, nil
+	exact := cluster.ExactSum32(w.partial)
+
+	// Cross-check the fabric value against the exact one within the
+	// paper's AllReduce error model (allreduce_test.go): a violation
+	// means the simulated reduction tree is broken, not mere rounding.
+	drift := math.Abs(float64(res.Sum) - exact)
+	if drift > 0 {
+		nt := float64(len(w.partial))
+		tol := nt * MaxAbs(w.partial) * 1.2e-7 * (1 + math.Log2(nt+1))
+		switch {
+		case math.IsNaN(drift) || math.IsInf(drift, 0) || tol == 0:
+			// Non-finite data (overflowed partials): the error model does
+			// not apply; the solver will surface the non-finite residual.
+		case drift > tol:
+			return 0, [2]int64{}, fmt.Errorf(
+				"kernels: fabric AllReduce %v drifted %.3g from exact sum %v (error-model bound %.3g)",
+				res.Sum, drift, exact, tol)
+		default:
+			if rel := drift / tol; rel > w.maxDrift {
+				w.maxDrift = rel
+			}
+		}
+	}
+	return exact, [2]int64{dotCycles, res.Cycles}, nil
+}
+
+// checkpoint snapshots the (idle, between-iterations) machine and
+// packages it with the scalar recurrence state into an encoded
+// WSECheckpoint.
+func (w *wseBiCG) checkpoint(it int, bnorm, rho float64, st WSEStats) ([]byte, error) {
+	snap, err := w.m.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	blob, err := snap.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	cp := &WSECheckpoint{Iter: it, BNorm: bnorm, Rho: rho, Stats: st, Machine: blob}
+	return cp.Encode()
 }
 
 func (w *wseBiCG) accountDot(c *PhaseCycles, cyc [2]int64) {

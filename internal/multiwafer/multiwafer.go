@@ -31,9 +31,12 @@
 // exactly rounded sums of per-tile partials (order-invariant), and all
 // host-side diagnostics accumulate in canonical global mesh order. The
 // package tests pin 1/2/4-wafer runs and both engines to the same
-// histories; note the exact dots mean a 1×1 multiwafer solve is its own
-// engine, not bit-equal to kernels.BiCGStabWSE (whose dots take the
-// float32 tree-order AllReduce value).
+// histories. The single-wafer solver now consumes the same exactly
+// rounded combine (its on-fabric AllReduce is cycle-accounted and
+// cross-checked, but not consumed), so a 1×1 multiwafer solve is
+// bit-identical to kernels.NewBiCGStabWSEHalo — and to the host
+// chunked-mixed and rank-parallel backends; internal/core's
+// TestAllBackendsBitIdentical pins all four.
 package multiwafer
 
 import (

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -139,7 +140,7 @@ func TestCycleAccounting(t *testing.T) {
 
 // TestBackendSeam runs the same problem through solver.Backend3D on the
 // host and the wafer cluster: both must converge, and the multiwafer
-// backend must populate LastStats.
+// backend must expose the solve's cycle account via Stats.
 func TestBackendSeam(t *testing.T) {
 	_, norm, _, sb := testProblem(t, 4, 4, 8, 11)
 	x0 := make([]float64, len(sb))
@@ -149,8 +150,10 @@ func TestBackendSeam(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var mwStats Stats
-	be := Backend{Grid: Topology{2, 1}, LastStats: &mwStats}
+	be := &Backend{Grid: Topology{2, 1}}
+	if _, ok := be.Stats(); ok {
+		t.Error("Stats reported a solve before any ran")
+	}
 	wx, wst, err := be.Solve3D(norm, sb, x0, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -158,7 +161,8 @@ func TestBackendSeam(t *testing.T) {
 	if !hst.Converged {
 		t.Errorf("host backend did not converge: %+v", hst)
 	}
-	if len(wst.History) == 0 || mwStats.Cycles.Total() == 0 {
+	mwStats, ok := be.Stats()
+	if !ok || len(wst.History) == 0 || mwStats.Cycles.Total() == 0 {
 		t.Errorf("multiwafer stats not populated: %+v / %+v", wst, mwStats)
 	}
 	hr := norm.ResidualNorm(hx, sb) / stencil.Norm2(sb)
@@ -177,6 +181,50 @@ func TestBackendSeam(t *testing.T) {
 	raw := stencil.Poisson(stencil.Mesh{NX: 4, NY: 4, NZ: 8}, 1)
 	if _, _, err := be.Solve3D(raw, sb, x0, opts); err == nil {
 		t.Error("non-normalized operator accepted")
+	}
+	if _, _, err := be.Solve3D(norm, sb, x0, solver.Options{MaxIter: 2, Resume: []byte{1}}); err == nil {
+		t.Error("checkpoint/resume options accepted (single-wafer only)")
+	}
+}
+
+// TestBackendStatsConcurrent hammers Stats while two Solve3D calls run
+// on the same Backend: the mutex-guarded accessor must stay race-free
+// (the old exported LastStats pointer field was not) — this test exists
+// to fail under -race if that regresses.
+func TestBackendStatsConcurrent(t *testing.T) {
+	_, norm, _, sb := testProblem(t, 4, 4, 8, 11)
+	x0 := make([]float64, len(sb))
+	opts := solver.Options{MaxIter: 4, RecordHistory: true}
+	be := &Backend{Grid: Topology{2, 1}}
+
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if st, ok := be.Stats(); ok && st.Iterations == 0 {
+					t.Error("Stats returned a populated-but-empty account")
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := be.Solve3D(norm, sb, x0, opts); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	if st, ok := be.Stats(); !ok || st.Iterations == 0 {
+		t.Errorf("Stats not populated after concurrent solves: %+v (ok=%v)", st, ok)
 	}
 }
 

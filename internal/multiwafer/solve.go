@@ -46,9 +46,14 @@ type Stats struct {
 	// wafer counts and engines.
 	History []float64
 	// Cycles accumulates the per-phase account across all iterations;
-	// PerIteration is the mean per iteration.
+	// PerIteration is the mean per iteration. The setup ‖b‖² dot is
+	// excluded (see SetupCycles), as in the single-wafer engine.
 	Cycles       PhaseCycles
 	PerIteration PhaseCycles
+	// SetupCycles is the one-time ‖b‖² dot + reduction before the first
+	// iteration, kept out of Cycles/PerIteration so per-iteration
+	// numbers match the paper's steady-state model.
+	SetupCycles int64
 }
 
 // Seconds converts a cycle count to wall clock at the wafer clock rate.
@@ -94,11 +99,14 @@ func (c *Cluster) Solve(bvec []fp16.Float16, opts kernels.WSEOptions) ([]fp16.Fl
 		}
 	}
 
-	var setup PhaseCycles // ‖b‖² is setup, not counted (as in the single-wafer engine)
+	// ‖b‖² is setup: accounted separately, outside the per-iteration
+	// cycle model (as in the single-wafer engine).
+	var setup PhaseCycles
 	bb, err := c.dot(&setup, func(wf *wafer) ([]int, []int) { return wf.offR0, wf.offR0 })
 	if err != nil {
 		return nil, st, err
 	}
+	st.SetupCycles = setup.Total()
 	bnorm := math.Sqrt(bb)
 	if bnorm == 0 {
 		return nil, st, fmt.Errorf("multiwafer: zero right-hand side")

@@ -20,6 +20,15 @@ type Options struct {
 	// current iterate to record an externally computed residual (for
 	// example, in full float64 against the original operator).
 	TrueResidual func(x Vector) float64
+	// CheckpointEvery, Checkpoint and Resume thread solver-level
+	// checkpoint/resume through to backends that support it — the wafer
+	// backends, which snapshot the simulated machine (see
+	// kernels.WSEOptions). Backends without a restorable substrate
+	// (the host contexts, the multi-wafer cluster) reject a non-nil
+	// Resume or Checkpoint rather than silently ignoring it.
+	CheckpointEvery int
+	Checkpoint      func([]byte) error
+	Resume          []byte
 }
 
 func (o Options) maxIter() int {

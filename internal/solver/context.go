@@ -13,8 +13,10 @@
 package solver
 
 import (
+	"fmt"
 	"math"
 
+	"repro/internal/cluster"
 	"repro/internal/fp16"
 	"repro/internal/stencil"
 )
@@ -378,13 +380,38 @@ func (o *f32Op) Apply(dst, src Vector) {
 // (SIMD-4 FMAC semantics for AXPY), and the hardware inner-product
 // instruction's fp16-multiply/fp32-accumulate for dots. The four
 // AllReduce additions per iteration run at 32 bits, as in the paper.
-type Mixed struct{ c Counters }
+type Mixed struct {
+	c Counters
+	// chunk > 0 splits every dot into per-chunk float32 partials combined
+	// by the exactly rounded sum (NewMixedChunked).
+	chunk int
+}
 
 // NewMixed returns the mixed-precision context.
 func NewMixed() *Mixed { return &Mixed{} }
 
+// NewMixedChunked returns the mixed-precision context with chunked
+// dots: each chunk of chunk elements accumulates in float32 with the
+// mixed FMAC — exactly one wafer tile's local dot when chunk is the
+// per-tile vector length — and the chunk partials are combined by
+// cluster.ExactSum32. With chunk equal to the wafer mapping's per-tile
+// length (NZ for the 3D mapping), this context's BiCGStab produces
+// residual histories bit-identical to the single-wafer (halo),
+// rank-parallel and multi-wafer backends.
+func NewMixedChunked(chunk int) *Mixed {
+	if chunk <= 0 {
+		panic("solver: NewMixedChunked needs chunk > 0")
+	}
+	return &Mixed{chunk: chunk}
+}
+
 // Name implements Context.
-func (f *Mixed) Name() string { return "mixed16/32" }
+func (f *Mixed) Name() string {
+	if f.chunk > 0 {
+		return fmt.Sprintf("mixed16/32/exact%d", f.chunk)
+	}
+	return "mixed16/32"
+}
 
 // Counters implements Context.
 func (f *Mixed) Counters() *Counters { return &f.c }
@@ -438,16 +465,34 @@ func (v *mixedVec) XPAY(a float64, x Vector) {
 }
 
 // Dot uses the mixed FMAC: exact fp16 products, float32 accumulation.
+// With a chunked context (NewMixedChunked), accumulation restarts every
+// chunk elements and the float32 partials are combined exactly — the
+// wafer backends' per-tile-dot + exact-combine semantics.
 func (v *mixedVec) Dot(x Vector) float64 {
 	xd := x.(*mixedVec).d
-	var acc float32
-	for i := range v.d {
-		acc = fp16.MixedFMAC(acc, v.d[i], xd[i])
-	}
 	n := int64(len(v.d))
 	c := &v.ctx.c.ByKind[v.ctx.c.kind]
 	c.HPMul += n // 16-bit multiplies
 	c.SPAdd += n // 32-bit accumulation
+	if ch := v.ctx.chunk; ch > 0 {
+		partials := make([]float32, 0, (len(v.d)+ch-1)/ch)
+		for base := 0; base < len(v.d); base += ch {
+			end := base + ch
+			if end > len(v.d) {
+				end = len(v.d)
+			}
+			var acc float32
+			for i := base; i < end; i++ {
+				acc = fp16.MixedFMAC(acc, v.d[i], xd[i])
+			}
+			partials = append(partials, acc)
+		}
+		return cluster.ExactSum32(partials)
+	}
+	var acc float32
+	for i := range v.d {
+		acc = fp16.MixedFMAC(acc, v.d[i], xd[i])
+	}
 	return float64(acc)
 }
 
