@@ -10,7 +10,7 @@ SHELL := /bin/bash
 # paper-table benches cheap, 3 iterations per measurement, 6 repetitions
 # so benchgate can take a stable median.
 BENCH_FLAGS := -short -run '^$$' -bench . -benchtime 3x -count 6
-GATE := 'Benchmark(FabricStep|MachineStep|SpMV2DMachine|Cavity2DWSEIteration|MultiWaferIteration|Snapshot)'
+GATE := 'Benchmark(FabricStep|MachineStep|SpMV2DMachine|Cavity2DWSEIteration|MultiWaferIteration|Snapshot|ServiceSolve)'
 
 .PHONY: build test race check lint bench bench-baseline bench-gate fuzz profile
 

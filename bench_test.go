@@ -6,6 +6,10 @@
 package repro
 
 import (
+	"context"
+	"net/http/httptest"
+	"time"
+
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -19,6 +23,7 @@ import (
 	"repro/internal/mfix"
 	"repro/internal/multiwafer"
 	"repro/internal/perfmodel"
+	"repro/internal/service"
 	"repro/internal/solver"
 	"repro/internal/stencil"
 	"repro/internal/wse"
@@ -659,4 +664,51 @@ func BenchmarkSnapshot(b *testing.B) {
 		}
 		b.ReportMetric(float64(blobLen), "snapshot-bytes")
 	})
+}
+
+// BenchmarkServiceSolve measures the wsesimd job API end to end: an
+// in-process daemon (4 solve workers, warm machine cache) driven by the
+// ssbench load engine over real HTTP. full-write submits a wafer solve
+// and polls it to completion per operation; mixed is the read-mostly
+// profile (status reads against a 20% submit stream). The cache is
+// pre-warmed so the steady state — snapshot rewind + coefficient load
+// instead of a machine build per job — is what the regression gate
+// tracks; QPS and mean per-class latency ride along as metrics.
+func BenchmarkServiceSolve(b *testing.B) {
+	spec := service.JobSpec{Problem: "momentum", NX: 4, NY: 4, NZ: 8, Backend: "wafer", MaxIter: 4}
+	for _, mix := range []service.LoadMix{service.MixFullWrite, service.MixReadWrite} {
+		b.Run(string(mix), func(b *testing.B) {
+			s, err := service.New(service.Config{Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Start()
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				s.Shutdown(ctx)
+			}()
+			if _, err := service.RunLoad(service.LoadOptions{
+				BaseURL: ts.URL, Mix: service.MixFullWrite, Concurrency: 4, Ops: 8, Spec: spec,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			st, err := service.RunLoad(service.LoadOptions{
+				BaseURL: ts.URL, Mix: mix, Concurrency: 4, Ops: b.N, Spec: spec,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(st.QPS, "qps")
+			if st.Writes.Count > 0 {
+				b.ReportMetric(float64(st.Writes.Avg.Nanoseconds()), "solve-avg-ns")
+			}
+			if st.Reads.Count > 0 {
+				b.ReportMetric(float64(st.Reads.Avg.Nanoseconds()), "read-avg-ns")
+			}
+		})
+	}
 }

@@ -1,0 +1,93 @@
+// Command ssbench load-tests a running wsesimd daemon and reports
+// throughput and latency, in the style of storage-service benchmarks:
+// a full-write mix (every operation submits a solve and polls it to
+// completion) or a mixed read/write mix (mostly status reads of
+// finished jobs against a 20% submit stream, the cache-friendly
+// profile).
+//
+//	wsesimd -addr :8844 &
+//	ssbench -addr http://127.0.0.1:8844 -mix full-write -ops 64 -c 8
+//	ssbench -addr http://127.0.0.1:8844 -mix mixed -ops 256 -c 8
+//
+// The same engine (internal/service.RunLoad) backs the root
+// BenchmarkService entries, so the QPS and latency medians land in
+// BENCH_BASELINE.json under the bench-regression gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/service"
+)
+
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ssbench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8844", "wsesimd base URL")
+	mixFlag := flag.String("mix", "full-write", "operation mix: full-write | mixed")
+	ops := flag.Int("ops", 64, "total operations across all workers")
+	conc := flag.Int("c", 4, "concurrent client workers")
+	writeFrac := flag.Float64("write-fraction", 0.2, "share of writes under -mix mixed")
+	poll := flag.Duration("poll", 2*time.Millisecond, "status poll interval while waiting for a solve")
+
+	problem := flag.String("problem", "momentum", "submitted job: problem generator (poisson|momentum|random)")
+	nx := flag.Int("nx", 4, "submitted job: mesh width")
+	ny := flag.Int("ny", 4, "submitted job: mesh height")
+	nz := flag.Int("nz", 8, "submitted job: Z points (even on simulated backends)")
+	backend := flag.String("backend", "wafer", "submitted job: backend (local|wafer|cluster|multiwafer)")
+	iters := flag.Int("iters", 4, "submitted job: max iterations")
+	grid := flag.String("grid", "", "submitted job: wafer grid WxH (multiwafer backend)")
+	flag.Parse()
+
+	mix, err := service.ParseLoadMix(*mixFlag)
+	if err != nil {
+		fatalUsage("%v", err)
+	}
+	if *ops <= 0 || *conc <= 0 {
+		fatalUsage("-ops and -c must be positive")
+	}
+	if *writeFrac <= 0 || *writeFrac > 1 {
+		fatalUsage("-write-fraction must be in (0, 1]; got %v", *writeFrac)
+	}
+	spec := service.JobSpec{
+		Problem: *problem, NX: *nx, NY: *ny, NZ: *nz,
+		Backend: *backend, MaxIter: *iters, Grid: *grid,
+	}
+	if err := spec.Validate(); err != nil {
+		fatalUsage("%v", err)
+	}
+
+	st, err := service.RunLoad(service.LoadOptions{
+		BaseURL:       *addr,
+		Mix:           mix,
+		Concurrency:   *conc,
+		Ops:           *ops,
+		WriteFraction: *writeFrac,
+		Spec:          spec,
+		PollInterval:  *poll,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("mix %s: %d writes + %d reads in %v  (%.1f ops/s)\n",
+		mix, st.Writes.Count, st.Reads.Count, st.Elapsed.Round(time.Millisecond), st.QPS)
+	printClass := func(name string, l service.LatencySummary) {
+		if l.Count == 0 {
+			return
+		}
+		fmt.Printf("%-18s avg %-10v p50 %-10v p95 %-10v max %v\n",
+			name+" latency:", l.Avg.Round(time.Microsecond), l.P50.Round(time.Microsecond),
+			l.P95.Round(time.Microsecond), l.Max.Round(time.Microsecond))
+	}
+	printClass("solve (write)", st.Writes)
+	printClass("status (read)", st.Reads)
+}

@@ -77,12 +77,6 @@ func main() {
 	if *iters <= 0 {
 		fatalUsage("-iters must be positive; got %d", *iters)
 	}
-	if *ckptEvery <= 0 {
-		fatalUsage("-checkpoint-every must be positive; got %d", *ckptEvery)
-	}
-	if *wafers != "" && (*ckptPath != "" || *resumePath != "") {
-		fatalUsage("-checkpoint/-resume are single-wafer only; drop -wafers")
-	}
 
 	m := stencil.Mesh{NX: *nx, NY: *ny, NZ: *nz}
 	var op *stencil.Op7
@@ -103,19 +97,21 @@ func main() {
 	}
 	p, _ := core.NewProblem(op, xe)
 
-	opts := core.Options{Backend: core.Wafer, MaxIter: *iters, Tol: *tol, Workers: *workers}
+	opts := core.Options{Backend: core.Wafer, MaxIter: *iters, Tol: *tol,
+		Wafer: core.WaferOptions{Workers: *workers}}
 	if *wafers != "" {
 		grid, err := multiwafer.ParseTopology(*wafers)
 		if err != nil {
 			fatalUsage("bad -wafers: %v", err)
 		}
 		opts.Backend = core.MultiWafer
-		opts.Wafers = grid
+		opts.Wafer = core.WaferOptions{}
+		opts.MultiWafer = core.MultiWaferOptions{Grid: grid, Workers: *workers}
 	}
 	written := 0
 	if *ckptPath != "" {
-		opts.CheckpointEvery = *ckptEvery
-		opts.Checkpoint = func(blob []byte) error {
+		opts.Wafer.CheckpointEvery = *ckptEvery
+		opts.Wafer.Checkpoint = func(blob []byte) error {
 			// Write-then-rename, so a crash mid-write leaves the previous
 			// checkpoint intact.
 			tmp := *ckptPath + ".tmp"
@@ -134,8 +130,14 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts.Resume = blob
+		opts.Wafer.Resume = blob
 		fmt.Printf("resuming from %s (%d bytes)\n", *resumePath, len(blob))
+	}
+	// One validator for every entry point: the daemon and all the CLIs
+	// route bad combinations (e.g. -checkpoint with -wafers) through
+	// core.Options.Validate instead of ad-hoc flag checks.
+	if err := opts.Validate(); err != nil {
+		fatalUsage("%v", err)
 	}
 	res, err := core.Solve(p, opts)
 	if err != nil {
@@ -147,27 +149,28 @@ func main() {
 
 	const clock = 1.1e9
 	if opts.Backend == core.MultiWafer {
+		grid := opts.MultiWafer.Grid
 		fmt.Printf("mesh %v on a %s wafer grid (%d wafers, ~%d×%d fabric each; %s problem)\n",
-			m, opts.Wafers, opts.Wafers.Wafers(),
-			(*nx+opts.Wafers.W-1)/opts.Wafers.W, (*ny+opts.Wafers.H-1)/opts.Wafers.H, *problem)
+			m, grid, grid.Wafers(),
+			(*nx+grid.W-1)/grid.W, (*ny+grid.H-1)/grid.H, *problem)
 	} else {
 		fmt.Printf("mesh %v on %d×%d fabric (%s problem)\n", m, *nx, *ny, *problem)
 	}
 	fmt.Printf("iterations: %d  converged: %v  true residual: %.3e\n",
 		res.Iterations, res.Converged, res.TrueResidual)
 	if opts.Backend == core.MultiWafer {
-		pc := res.MultiWafer.PerIteration
+		pc := res.Telemetry.PerIteration
 		fmt.Printf("cycles/iteration: %d  (spmv %d, edge-I/O %d, dot %d, allreduce %d, combine %d, axpy %d)\n",
 			pc.Total(), pc.SpMV, pc.EdgeIO, pc.Dot, pc.AllReduce, pc.Combine, pc.Axpy)
 		fmt.Printf("at %.1f GHz: %.2f µs/iteration (%.0f%% inter-wafer + reduction)\n",
 			clock/1e9, float64(pc.Total())/clock*1e6,
 			100*float64(pc.Communication())/float64(pc.Total()))
 		model := perfmodel.SimModel().MultiWaferIterationCycles(
-			m.NX, m.NY, m.NZ, opts.Wafers.W, opts.Wafers.H, clock, perfmodel.DefaultEdgeIO())
+			m.NX, m.NY, m.NZ, opts.MultiWafer.Grid.W, opts.MultiWafer.Grid.H, clock, perfmodel.DefaultEdgeIO())
 		fmt.Printf("model prediction: %.0f cycles/iteration\n", model.Total())
 		return
 	}
-	pc := res.Cycles
+	pc := res.Telemetry.PerIteration
 	fmt.Printf("cycles/iteration: %d  (spmv %d, dot %d, allreduce %d, axpy %d)\n",
 		pc.Total(), pc.SpMV, pc.Dot, pc.AllReduce, pc.Axpy)
 	fmt.Printf("at %.1f GHz: %.2f µs/iteration\n", clock/1e9, float64(pc.Total())/clock*1e6)

@@ -1,0 +1,100 @@
+// Command wsesimd is the persistent solver daemon: it owns a pool of
+// warm, pre-built simulated machines behind an HTTP/JSON job API
+// (internal/service). Clients POST deterministic job specs, poll or
+// stream residual histories, and fetch solutions; the daemon reuses
+// machines across same-shape jobs through a keyed cache, spools every
+// job durably, and on SIGTERM checkpoints in-flight wafer solves so a
+// restart resumes them bit-identically.
+//
+// Typical session:
+//
+//	wsesimd -addr :8844 -spool /var/lib/wsesimd &
+//	curl -s localhost:8844/v1/jobs -d '{"problem":"momentum","nx":8,"ny":8,"nz":16,"max_iter":20}'
+//	curl -s localhost:8844/v1/jobs/j000001
+//	curl -s localhost:8844/v1/jobs/j000001/solution
+//	curl -s localhost:8844/metrics
+//
+// See docs/ARCHITECTURE.md, "Service layer".
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func fatalUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wsesimd: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8844", "listen address")
+	spool := flag.String("spool", "", "durable job spool directory (empty: in-memory only, no crash recovery)")
+	workers := flag.Int("workers", 4, "solve worker pool size (concurrent jobs)")
+	queueDepth := flag.Int("queue-depth", 256, "pending-job queue bound; submissions beyond it get 503")
+	maxIdle := flag.Int("max-idle-machines", 8, "warm-machine cache bound across all shapes")
+	suspendEvery := flag.Int("suspend-every", 4, "checkpoint cadence (iterations) for suspending wafer jobs at shutdown")
+	retries := flag.Int("retries", 2, "solve retries before a job fails")
+	backoff := flag.Duration("retry-backoff", 100*time.Millisecond, "delay before the first retry, doubling per attempt")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max wait for in-flight jobs to finish or suspend at shutdown")
+	flag.Parse()
+
+	if *workers <= 0 || *queueDepth <= 0 || *maxIdle <= 0 || *suspendEvery <= 0 {
+		fatalUsage("-workers, -queue-depth, -max-idle-machines and -suspend-every must be positive")
+	}
+	if *retries < 0 {
+		fatalUsage("-retries must be >= 0; got %d", *retries)
+	}
+
+	s, err := service.New(service.Config{
+		SpoolDir:        *spool,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		MaxIdleMachines: *maxIdle,
+		SuspendEvery:    *suspendEvery,
+		MaxRetries:      *retries,
+		RetryBackoff:    *backoff,
+	})
+	if err != nil {
+		log.Fatalf("wsesimd: %v", err)
+	}
+	s.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("wsesimd: %v", err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("wsesimd: %v", err)
+		}
+	}()
+	log.Printf("wsesimd: listening on %s (spool %q, %d workers)", ln.Addr(), *spool, *workers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("wsesimd: draining (in-flight wafer solves suspend at their next checkpoint)")
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := s.Shutdown(ctx); err != nil {
+		log.Printf("wsesimd: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("wsesimd: stopped")
+}

@@ -55,12 +55,13 @@ func main() {
 			continue
 		}
 		res, err := core.Solve(p, core.Options{
-			Backend: core.MultiWafer, MaxIter: *iters, Wafers: grid, Workers: *workers,
+			Backend: core.MultiWafer, MaxIter: *iters,
+			MultiWafer: core.MultiWaferOptions{Grid: grid, Workers: *workers},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		pi := res.MultiWafer.PerIteration
+		pi := res.Telemetry.PerIteration
 		fmt.Printf("  %-6s %10d %8d %10d %10d %10d %7.0f%%   %.9e\n",
 			grid, pi.Total(), pi.SpMV, pi.AllReduce, pi.EdgeIO, pi.Combine,
 			100*float64(pi.Communication())/float64(pi.Total()),

@@ -43,7 +43,7 @@ func main() {
 	fmt.Printf("converged=%v after %d iterations\n", res.Converged, res.Iterations)
 	fmt.Printf("true relative residual: %.2e (fp16 ε is ~1e-3)\n", res.TrueResidual)
 	fmt.Printf("worst-case error vs exact solution: %.2e\n", worst)
-	pc := res.Cycles
+	pc := res.Telemetry.PerIteration
 	fmt.Printf("simulated cycles/iteration: %d (spmv %d, dot %d, allreduce %d, axpy %d)\n",
 		pc.Total(), pc.SpMV, pc.Dot, pc.AllReduce, pc.Axpy)
 }

@@ -1,19 +1,23 @@
 // Package core is the public façade of the reproduction: it ties a
-// stencil problem to one of three execution backends —
+// stencil problem to one of four execution backends —
 //
 //   - Local: the sequential reference solver in a chosen precision
 //     (float64, float32, or the CS-1's mixed fp16/fp32);
 //   - Wafer: the cycle-level CS-1 simulator (fabric + cores + kernels),
 //     returning per-phase cycle counts alongside the solution;
-//   - Cluster: the rank-parallel (goroutines-as-MPI) Joule-style solve.
+//   - Cluster: the rank-parallel (goroutines-as-MPI) Joule-style solve;
+//   - MultiWafer: a grid of cycle-simulated wafers coupled by the
+//     edge-I/O interconnect model.
 //
+// Options carries the backend selection plus per-backend config
+// sections, validated in one place by Options.Validate; Result carries
+// the solution plus a uniformly serializable Telemetry — the same
+// request/response shapes the wsesimd service layer puts on the wire.
 // The experiment runners in experiments.go regenerate every table and
 // figure of the paper from these backends plus the calibrated models.
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/cluster"
 	"repro/internal/fp16"
 	"repro/internal/kernels"
@@ -21,54 +25,6 @@ import (
 	"repro/internal/solver"
 	"repro/internal/stencil"
 	"repro/internal/wse"
-)
-
-// Precision selects the arithmetic of the Local backend.
-type Precision int
-
-// Precisions.
-const (
-	F64 Precision = iota
-	F32
-	Mixed // fp16 storage, fp32 dot accumulation — the CS-1 arithmetic
-)
-
-// String names the precision.
-func (p Precision) String() string {
-	switch p {
-	case F64:
-		return "fp64"
-	case F32:
-		return "fp32"
-	default:
-		return "mixed16/32"
-	}
-}
-
-func (p Precision) context() solver.Context {
-	switch p {
-	case F64:
-		return solver.NewF64()
-	case F32:
-		return solver.NewF32()
-	default:
-		return solver.NewMixed()
-	}
-}
-
-// Backend selects the execution substrate.
-type Backend int
-
-// Backends.
-const (
-	Local Backend = iota
-	Wafer
-	Cluster
-	// MultiWafer runs the mixed-precision solve across a grid of
-	// cycle-simulated wafers coupled through the edge-I/O interconnect
-	// model (internal/multiwafer), routed through the solver.Backend3D
-	// seam. Residual histories are bit-identical across wafer grids.
-	MultiWafer
 )
 
 // Problem is a linear system from a 7-point stencil discretization.
@@ -85,33 +41,6 @@ func NewProblem(op *stencil.Op7, xexact []float64) (Problem, []float64) {
 	return Problem{Op: op, B: b}, xexact
 }
 
-// Options configures a solve.
-type Options struct {
-	Backend   Backend
-	Precision Precision // Local backend only
-	MaxIter   int
-	Tol       float64
-	Ranks     int // Cluster backend: number of goroutine-ranks
-	// Workers selects the Wafer backend's simulation engine: <= 1 steps
-	// the machine sequentially, > 1 shards the tile grid across that
-	// many goroutines on a persistent worker pool (clamped to the tile
-	// count; see fabric.Sharded). Simulated results are bit-identical
-	// either way.
-	Workers int
-	// Wafers is the MultiWafer backend's wafer grid; the zero value
-	// means a single wafer.
-	Wafers multiwafer.Topology
-	// CheckpointEvery and Checkpoint enable crash-recoverable solves on
-	// the Wafer backend: every CheckpointEvery iterations the callback
-	// receives an encoded kernels.WSECheckpoint (machine snapshot plus
-	// recurrence scalars). Resume restarts a solve from such a blob; the
-	// problem and RHS must match the checkpointed solve. Other backends
-	// reject these options.
-	CheckpointEvery int
-	Checkpoint      func([]byte) error
-	Resume          []byte
-}
-
 // Result reports a solve.
 type Result struct {
 	X          []float64
@@ -123,27 +52,26 @@ type Result struct {
 	// TrueResidual is ‖b − Ax‖/‖b‖ in float64 against the original
 	// operator.
 	TrueResidual float64
-	// Cycles is the wafer backend's per-iteration phase breakdown.
-	Cycles *kernels.PhaseCycles
-	// MultiWafer is the multiwafer backend's cycle account (per-phase,
-	// including edge I/O and the two-level combine).
-	MultiWafer *multiwafer.Stats
+	// Telemetry is the backend's instrumentation in one serializable
+	// shape, populated by every backend.
+	Telemetry Telemetry
 }
 
-// Solve runs BiCGStab on the selected backend.
+// Solve runs BiCGStab on the selected backend. It validates o first;
+// invalid options fail with a *OptionError before any work happens.
 func Solve(p Problem, o Options) (Result, error) {
+	var res Result
+	if err := o.Validate(); err != nil {
+		return res, err
+	}
 	if o.MaxIter == 0 {
 		o.MaxIter = 200
 	}
 	norm, diag := p.Op.Normalize()
 	sb := stencil.ScaleRHS(p.B, diag)
-	var res Result
-	if (o.CheckpointEvery > 0 || o.Checkpoint != nil || o.Resume != nil) && o.Backend != Wafer {
-		return res, fmt.Errorf("core: checkpoint/resume requires the Wafer backend")
-	}
 	switch o.Backend {
 	case Local:
-		ctx := o.Precision.context()
+		ctx := o.Local.Precision.context()
 		a := ctx.NewOperator(norm)
 		bv := ctx.NewVector(len(sb))
 		for i, v := range sb {
@@ -161,11 +89,12 @@ func Solve(p Problem, o Options) (Result, error) {
 		res.Converged = st.Converged
 		res.Breakdown = st.Breakdown
 		res.History = st.History
+		res.Telemetry = Telemetry{Backend: Local.String(), Precision: o.Local.Precision.String()}
 
 	case Wafer:
 		m := norm.M
 		cfg := wse.CS1(m.NX, m.NY)
-		cfg.Workers = o.Workers
+		cfg.Workers = o.Wafer.Workers
 		mach := wse.New(cfg)
 		defer mach.Close()
 		w, err := kernels.NewBiCGStabWSE(mach, stencil.NewOp7Half(norm))
@@ -174,7 +103,9 @@ func Solve(p Problem, o Options) (Result, error) {
 		}
 		x16, st, err := w.Solve(fp16.FromFloat64Slice(sb), kernels.WSEOptions{
 			MaxIter: o.MaxIter, Tol: o.Tol,
-			CheckpointEvery: o.CheckpointEvery, Checkpoint: o.Checkpoint, Resume: o.Resume,
+			CheckpointEvery: o.Wafer.CheckpointEvery,
+			Checkpoint:      o.Wafer.Checkpoint,
+			Resume:          o.Wafer.Resume,
 		})
 		if err != nil {
 			return res, err
@@ -184,15 +115,14 @@ func Solve(p Problem, o Options) (Result, error) {
 		res.Converged = st.Converged
 		res.Breakdown = st.Breakdown
 		res.History = st.History
-		pc := st.PerIteration
-		res.Cycles = &pc
+		res.Telemetry = TelemetryFromWSE(st)
 
 	case MultiWafer:
-		grid := o.Wafers
+		grid := o.MultiWafer.Grid
 		if grid.W == 0 {
 			grid = multiwafer.Topology{W: 1, H: 1}
 		}
-		be := &multiwafer.Backend{Grid: grid, Workers: o.Workers}
+		be := &multiwafer.Backend{Grid: grid, Workers: o.MultiWafer.Workers}
 		x, st, err := be.Solve3D(norm, sb, make([]float64, len(sb)), solver.Options{
 			MaxIter: o.MaxIter, Tol: o.Tol, RecordHistory: true,
 		})
@@ -205,11 +135,13 @@ func Solve(p Problem, o Options) (Result, error) {
 		res.Breakdown = st.Breakdown
 		res.History = st.History
 		if mw, ok := be.Stats(); ok {
-			res.MultiWafer = &mw
+			res.Telemetry = TelemetryFromMultiWafer(mw)
+		} else {
+			res.Telemetry = Telemetry{Backend: MultiWafer.String(), Simulated: true}
 		}
 
 	case Cluster:
-		ranks := o.Ranks
+		ranks := o.Cluster.Ranks
 		if ranks == 0 {
 			ranks = 8
 		}
@@ -221,9 +153,7 @@ func Solve(p Problem, o Options) (Result, error) {
 		res.History = hist
 		res.Iterations = len(hist)
 		res.Converged = o.Tol > 0 && len(hist) > 0 && hist[len(hist)-1] <= o.Tol
-
-	default:
-		return res, fmt.Errorf("core: unknown backend %d", o.Backend)
+		res.Telemetry = Telemetry{Backend: Cluster.String(), Ranks: ranks}
 	}
 	res.TrueResidual = norm.ResidualNorm(res.X, sb) / stencil.Norm2(sb)
 	return res, nil

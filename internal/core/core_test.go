@@ -27,11 +27,11 @@ func TestSolveAllBackendsAgree(t *testing.T) {
 		opts Options
 		tol  float64 // solution accuracy vs xe
 	}{
-		{"local/f64", Options{Backend: Local, Precision: F64, MaxIter: 60, Tol: 1e-10}, 1e-7},
-		{"local/f32", Options{Backend: Local, Precision: F32, MaxIter: 60, Tol: 1e-6}, 1e-4},
-		{"local/mixed", Options{Backend: Local, Precision: Mixed, MaxIter: 30, Tol: 1e-3}, 0.05},
+		{"local/f64", Options{Backend: Local, MaxIter: 60, Tol: 1e-10}, 1e-7},
+		{"local/f32", Options{Backend: Local, Local: LocalOptions{Precision: F32}, MaxIter: 60, Tol: 1e-6}, 1e-4},
+		{"local/mixed", Options{Backend: Local, Local: LocalOptions{Precision: Mixed}, MaxIter: 30, Tol: 1e-3}, 0.05},
 		{"wafer", Options{Backend: Wafer, MaxIter: 30, Tol: 1e-3}, 0.05},
-		{"cluster", Options{Backend: Cluster, Ranks: 8, MaxIter: 60, Tol: 1e-10}, 1e-7},
+		{"cluster", Options{Backend: Cluster, Cluster: ClusterOptions{Ranks: 8}, MaxIter: 60, Tol: 1e-10}, 1e-7},
 	} {
 		res, err := Solve(p, tc.opts)
 		if err != nil {
@@ -56,7 +56,11 @@ func TestWaferBackendReportsCycles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Cycles == nil || res.Cycles.Total() == 0 {
+	tel := res.Telemetry
+	if !tel.Simulated || tel.Backend != "wafer" || tel.Wafers != 1 {
+		t.Fatalf("wafer telemetry header wrong: %+v", tel)
+	}
+	if tel.PerIteration.Total() == 0 || tel.Cycles.Total() == 0 {
 		t.Fatal("wafer backend must report a cycle breakdown")
 	}
 }

@@ -104,7 +104,7 @@ func HeadlineReport() string {
 		fmt.Fprintf(&b, "  (cycle-sim validation failed: %v)\n", err)
 		return b.String()
 	}
-	pc := res.Cycles
+	pc := res.Telemetry.PerIteration
 	pred := perfmodel.SimModel().IterationCycles(perfmodel.WSE{W: 8, H: 8, ClockHz: 1.1e9, SIMD: 4}, 64)
 	fmt.Fprintf(&b, "  cycle-sim check (8×8×64): %d cycles/iter vs model %.0f (spmv %d, dot %d, allreduce %d, axpy %d)\n",
 		pc.Total(), pred.Total(), pc.SpMV, pc.Dot, pc.AllReduce, pc.Axpy)
@@ -237,11 +237,12 @@ func MultiWaferReport() string {
 	var refHist []float64
 	identical := true
 	for _, grid := range []multiwafer.Topology{{W: 1, H: 1}, {W: 2, H: 1}, {W: 2, H: 2}} {
-		res, err := Solve(p, Options{Backend: MultiWafer, MaxIter: 4, Wafers: grid})
+		res, err := Solve(p, Options{Backend: MultiWafer, MaxIter: 4,
+			MultiWafer: MultiWaferOptions{Grid: grid}})
 		if err != nil {
 			return err.Error()
 		}
-		pi := res.MultiWafer.PerIteration
+		pi := res.Telemetry.PerIteration
 		fmt.Fprintf(&b, "  %-6s %12d %10d %10d %10d %10d\n",
 			grid, pi.Total(), pi.SpMV, pi.AllReduce, pi.EdgeIO, pi.Combine)
 		if refHist == nil {

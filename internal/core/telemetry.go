@@ -1,0 +1,99 @@
+package core
+
+import (
+	"repro/internal/kernels"
+	"repro/internal/multiwafer"
+)
+
+// Phases breaks a simulated cycle account into the paper's kernel
+// classes plus the multi-wafer coupling costs. The single-wafer backend
+// leaves EdgeIO and Combine at zero; the host backends leave everything
+// at zero (no cycle simulation runs there).
+type Phases struct {
+	SpMV      int64 `json:"spmv"`
+	EdgeIO    int64 `json:"edge_io,omitempty"`
+	Dot       int64 `json:"dot"`
+	AllReduce int64 `json:"allreduce"`
+	Combine   int64 `json:"combine,omitempty"`
+	Axpy      int64 `json:"axpy"`
+}
+
+// Total returns the cycle sum across all phases.
+func (p Phases) Total() int64 {
+	return p.SpMV + p.EdgeIO + p.Dot + p.AllReduce + p.Combine + p.Axpy
+}
+
+// Communication returns the cycles spent off the local tile datapaths:
+// the on-wafer reduction plus everything that crossed a wafer edge.
+func (p Phases) Communication() int64 { return p.EdgeIO + p.AllReduce + p.Combine }
+
+// Telemetry is the uniformly serializable instrumentation of a solve.
+// Every backend populates it — clients switch on Simulated (or just
+// serialize the whole thing) instead of probing backend-specific
+// pointers for nil. It is the shape the wsesimd job API returns.
+type Telemetry struct {
+	// Backend is the substrate name ("local", "wafer", "cluster",
+	// "multiwafer").
+	Backend string `json:"backend"`
+	// Precision names the Local backend's arithmetic; empty elsewhere
+	// (the wafer substrates are always mixed fp16/fp32).
+	Precision string `json:"precision,omitempty"`
+	// Simulated reports whether cycle-level simulation ran; when false
+	// the cycle fields are zero.
+	Simulated bool `json:"simulated"`
+	// Wafers is the number of simulated wafers (1 for the Wafer
+	// backend); 0 for host substrates.
+	Wafers int `json:"wafers,omitempty"`
+	// Ranks is the Cluster backend's goroutine-rank count; 0 elsewhere.
+	Ranks int `json:"ranks,omitempty"`
+	// Cycles accumulates the per-phase account across all iterations;
+	// PerIteration is the mean per iteration. The setup ‖b‖² dot is
+	// excluded (see SetupCycles), matching the paper's steady-state
+	// accounting.
+	Cycles       Phases `json:"cycles"`
+	PerIteration Phases `json:"per_iteration"`
+	// SetupCycles is the one-time ‖b‖² dot + reduction before the first
+	// iteration.
+	SetupCycles int64 `json:"setup_cycles,omitempty"`
+	// MaxARDrift is the single-wafer engine's largest observed
+	// |fabric AllReduce − exact sum| as a fraction of the paper's
+	// AllReduce error-model bound (see kernels.WSEStats.MaxARDrift).
+	MaxARDrift float64 `json:"max_allreduce_drift,omitempty"`
+}
+
+func phasesFromWSE(c kernels.PhaseCycles) Phases {
+	return Phases{SpMV: c.SpMV, Dot: c.Dot, AllReduce: c.AllReduce, Axpy: c.Axpy}
+}
+
+func phasesFromMultiWafer(c multiwafer.PhaseCycles) Phases {
+	return Phases{SpMV: c.SpMV, EdgeIO: c.EdgeIO, Dot: c.Dot,
+		AllReduce: c.AllReduce, Combine: c.Combine, Axpy: c.Axpy}
+}
+
+// TelemetryFromWSE converts a single-wafer solve's stats into the
+// uniform Telemetry shape. Exported for the service layer, which runs
+// warm-machine solves outside Solve but reports the same telemetry.
+func TelemetryFromWSE(st kernels.WSEStats) Telemetry {
+	return Telemetry{
+		Backend:      Wafer.String(),
+		Simulated:    true,
+		Wafers:       1,
+		Cycles:       phasesFromWSE(st.Cycles),
+		PerIteration: phasesFromWSE(st.PerIteration),
+		SetupCycles:  st.SetupCycles,
+		MaxARDrift:   st.MaxARDrift,
+	}
+}
+
+// TelemetryFromMultiWafer is TelemetryFromWSE for the multi-wafer
+// cluster's stats.
+func TelemetryFromMultiWafer(st multiwafer.Stats) Telemetry {
+	return Telemetry{
+		Backend:      MultiWafer.String(),
+		Simulated:    true,
+		Wafers:       st.Wafers,
+		Cycles:       phasesFromMultiWafer(st.Cycles),
+		PerIteration: phasesFromMultiWafer(st.PerIteration),
+		SetupCycles:  st.SetupCycles,
+	}
+}

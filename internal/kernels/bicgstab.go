@@ -76,6 +76,43 @@ func NewBiCGStabWSEHalo(m *wse.Machine, op *stencil.Op7Half) (*BiCGStabWSE, erro
 	return b, nil
 }
 
+// LoadCoeff swaps the stencil operator of a built solver without
+// rebuilding the machine program: routing, task structure, memory
+// layout and the solver engine all stay, only the coefficient columns
+// are rewritten. Solve re-initializes the solver vectors on every call,
+// so a warm solver serves an arbitrary sequence of solves — build once,
+// LoadCoeff per job, the service layer's machine-cache contract. The
+// new operator's mesh must match the one the solver was built for.
+func (b *BiCGStabWSE) LoadCoeff(op *stencil.Op7Half) error {
+	if op.M != b.Mesh {
+		return fmt.Errorf("kernels: operator mesh %v does not match solver mesh %v", op.M, b.Mesh)
+	}
+	if b.halo != nil {
+		b.halo.LoadCoeff(op)
+		return nil
+	}
+	return b.spmv.LoadCoeff(op)
+}
+
+// Pristine drains the machine to idle (program construction leaves a
+// few cores spuriously queued) and captures its just-built
+// architectural state. Rewinding to that capture with Reset before each
+// solve makes every solve start from the cold-machine state, so even
+// the Listing 1 FIFO pipeline — whose accumulation order is
+// timing-dependent and therefore sensitive to leftover counters from a
+// previous solve — reproduces a fresh machine's bits exactly. The halo
+// variant's fixed program order does not need this, but the capture is
+// valid for both.
+func (b *BiCGStabWSE) Pristine() (*wse.Snapshot, error) {
+	if _, err := b.M.RunUntil(b.M.AllIdle, 1<<20); err != nil {
+		return nil, fmt.Errorf("kernels: draining machine for pristine capture: %w", err)
+	}
+	return b.M.Snapshot()
+}
+
+// Reset rewinds the machine to a Pristine capture (see Pristine).
+func (b *BiCGStabWSE) Reset(s *wse.Snapshot) error { return b.M.Restore(s) }
+
 // WSEStats reports a wafer solve.
 type WSEStats struct {
 	Iterations int
@@ -117,6 +154,11 @@ type WSEOptions struct {
 	// bit-identically to the uninterrupted solve. The right-hand side
 	// must be the one the checkpointed solve was started with.
 	Resume []byte
+	// Progress, if non-nil, is called after every iteration with the
+	// 1-based iteration number and the relative residual just appended
+	// to History. It is purely observational (the service layer streams
+	// it to clients) and must not mutate solver state.
+	Progress func(iter int, rel float64)
 }
 
 // Solve runs BiCGStab for the right-hand side b (mesh-indexed, fp16) with

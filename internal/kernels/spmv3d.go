@@ -144,30 +144,6 @@ func NewSpMV3D(mach *wse.Machine, op *stencil.Op7Half) (*SpMV3D, error) {
 				st.fifos[k] = tensor.NewFIFO(fifoBase+k*FIFODepth, FIFODepth)
 			}
 
-			// Coefficients. The x/y diagonals align directly with the
-			// meshpoint; the z diagonals are shift-aligned (see the
-			// zp_acc/zm_acc bases in the listing): the product of v[j]
-			// with zm[j] lands at u[j] (meshpoint j−1, so zm[j] holds the
-			// row-(j−1) ZP coefficient), and the product with zp[j] lands
-			// at u[j+2] (meshpoint j+1, so zp[j] holds the row-(j+1) ZM
-			// coefficient).
-			for zz := 0; zz < z; zz++ {
-				i := m.Index(x, y, zz)
-				a.Set(st.offXP+zz, op.XP[i])
-				a.Set(st.offXM+zz, op.XM[i])
-				a.Set(st.offYP+zz, op.YP[i])
-				a.Set(st.offYM+zz, op.YM[i])
-				if zz+1 < z {
-					a.Set(st.offZP+zz, op.ZM[m.Index(x, y, zz+1)])
-				} else {
-					a.Set(st.offZP+zz, fp16.Zero) // product targets scratch u[Z+1]
-				}
-			}
-			a.Set(st.offZM+0, fp16.Zero) // product targets scratch u[0]
-			for j := 1; j <= z; j++ {
-				a.Set(st.offZM+j, op.ZP[m.Index(x, y, j-1)])
-			}
-
 			// Stream buffers and color subscriptions.
 			own := BroadcastColor(x, y)
 			st.zpBf = wse.NewStreamBuf(4)
@@ -186,7 +162,49 @@ func NewSpMV3D(mach *wse.Machine, op *stencil.Op7Half) (*SpMV3D, error) {
 			p.tiles[y*m.NX+x] = st
 		}
 	}
+	if err := p.LoadCoeff(op); err != nil {
+		return nil, err
+	}
 	return p, nil
+}
+
+// LoadCoeff rewrites the stored stencil coefficients in place, leaving
+// the routing, task structure and memory layout untouched — so a built
+// program (and the machine under it) can be reused for a new operator
+// on the same mesh, which is what the service layer's warm-machine
+// cache does between jobs. The x/y diagonals align directly with the
+// meshpoint; the z diagonals are shift-aligned (see the zp_acc/zm_acc
+// bases in the listing): the product of v[j] with zm[j] lands at u[j]
+// (meshpoint j−1, so zm[j] holds the row-(j−1) ZP coefficient), and the
+// product with zp[j] lands at u[j+2] (meshpoint j+1, so zp[j] holds the
+// row-(j+1) ZM coefficient).
+func (p *SpMV3D) LoadCoeff(op *stencil.Op7Half) error {
+	m := p.Mesh
+	if op.M != m {
+		return fmt.Errorf("kernels: operator mesh %v does not match program mesh %v", op.M, m)
+	}
+	z := m.NZ
+	for _, st := range p.tiles {
+		a := st.tile.Arena
+		for zz := 0; zz < z; zz++ {
+			i := m.Index(st.x, st.y, zz)
+			a.Set(st.offXP+zz, op.XP[i])
+			a.Set(st.offXM+zz, op.XM[i])
+			a.Set(st.offYP+zz, op.YP[i])
+			a.Set(st.offYM+zz, op.YM[i])
+			if zz+1 < z {
+				a.Set(st.offZP+zz, op.ZM[m.Index(st.x, st.y, zz+1)])
+			} else {
+				a.Set(st.offZP+zz, fp16.Zero) // product targets scratch u[Z+1]
+			}
+		}
+		a.Set(st.offZM+0, fp16.Zero) // product targets scratch u[0]
+		for j := 1; j <= z; j++ {
+			a.Set(st.offZM+j, op.ZP[m.Index(st.x, st.y, j-1)])
+		}
+	}
+	p.Op = op
+	return nil
 }
 
 // portToward returns the output port facing the neighbour at offset

@@ -1,0 +1,115 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fp16"
+	"repro/internal/stencil"
+	"repro/internal/wse"
+)
+
+// TestWarmSolverReuseBitIdentical pins the contract the service layer's
+// machine cache rests on: a solver that already ran one solve, handed a
+// new operator via LoadCoeff, produces exactly the bits a freshly built
+// machine produces — for both the Listing 1 FIFO pipeline and the
+// halo-exchange variant.
+func TestWarmSolverReuseBitIdentical(t *testing.T) {
+	m := stencil.Mesh{NX: 4, NY: 4, NZ: 8}
+	opA := stencil.NewOp7Half(normalized(t, stencil.Poisson(m, 1)))
+	opB := stencil.NewOp7Half(normalized(t, stencil.MomentumLike(m, 0.02, [3]float64{1, 0.2, -0.1}, 0.1, 1, 0.1)))
+	bvec := testRHS(m, 11)
+	const iters = 4
+
+	type build func(*wse.Machine, *stencil.Op7Half) (*BiCGStabWSE, error)
+	for _, tc := range []struct {
+		name  string
+		build build
+		// The Listing 1 pipeline's FIFO accumulation order is
+		// timing-dependent, so warm reuse must rewind the machine to its
+		// pristine capture between solves; the halo variant's fixed
+		// program order is reuse-stable without it.
+		reset bool
+	}{
+		{"listing1", NewBiCGStabWSE, true},
+		{"halo", NewBiCGStabWSEHalo, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Reference: a cold machine built directly for opB.
+			cold := wse.New(wse.CS1(m.NX, m.NY))
+			defer cold.Close()
+			ws, err := tc.build(cold, opB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refX, refSt, err := ws.Solve(bvec, WSEOptions{MaxIter: iters})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Warm path: build for opA, run a solve, swap to opB, run again.
+			warm := wse.New(wse.CS1(m.NX, m.NY))
+			defer warm.Close()
+			wsWarm, err := tc.build(warm, opA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pristine, err := wsWarm.Pristine()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := wsWarm.Solve(bvec, WSEOptions{MaxIter: 2}); err != nil {
+				t.Fatal(err)
+			}
+			if tc.reset {
+				if err := wsWarm.Reset(pristine); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := wsWarm.LoadCoeff(opB); err != nil {
+				t.Fatal(err)
+			}
+			gotX, gotSt, err := wsWarm.Solve(bvec, WSEOptions{MaxIter: iters})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(gotSt.History) != len(refSt.History) {
+				t.Fatalf("warm solve: %d history entries, cold has %d", len(gotSt.History), len(refSt.History))
+			}
+			for i := range refSt.History {
+				if math.Float64bits(gotSt.History[i]) != math.Float64bits(refSt.History[i]) {
+					t.Fatalf("history[%d] = %.17g after reuse, cold machine has %.17g",
+						i, gotSt.History[i], refSt.History[i])
+				}
+			}
+			for i := range refX {
+				if gotX[i] != refX[i] {
+					t.Fatalf("x[%d] = %v after reuse, cold machine has %v", i, gotX[i], refX[i])
+				}
+			}
+
+			// A mesh mismatch must be refused, not corrupt the program.
+			wrong := stencil.NewOp7Half(normalized(t, stencil.Poisson(stencil.Mesh{NX: 4, NY: 4, NZ: 10}, 1)))
+			if err := wsWarm.LoadCoeff(wrong); err == nil {
+				t.Fatal("LoadCoeff accepted an operator for a different mesh")
+			}
+		})
+	}
+}
+
+func normalized(t *testing.T, op *stencil.Op7) *stencil.Op7 {
+	t.Helper()
+	norm, _ := op.Normalize()
+	return norm
+}
+
+func testRHS(m stencil.Mesh, seed int64) []fp16.Float16 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]fp16.Float16, m.N())
+	for i := range b {
+		b[i] = fp16.FromFloat64(rng.Float64())
+	}
+	return b
+}

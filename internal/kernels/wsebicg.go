@@ -268,6 +268,9 @@ func (w *wseBiCG) solve(bvec []fp16.Float16, index func(tile, elem int) int, opt
 
 		rel := w.residualNorm(w.offR) / bnorm
 		st.History = append(st.History, rel)
+		if opts.Progress != nil {
+			opts.Progress(it+1, rel)
+		}
 		if opts.Tol > 0 && rel <= opts.Tol {
 			st.Converged = true
 			return finish()

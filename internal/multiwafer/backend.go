@@ -46,8 +46,8 @@ func (b *Backend) Stats() (Stats, bool) {
 // unit-diagonal (call Normalize first) and x0 must be zero — the wafer
 // solve starts from a zero guess, like the paper's.
 func (b *Backend) Solve3D(op *stencil.Op7, bvec, x0 []float64, opts solver.Options) ([]float64, solver.Stats, error) {
-	if opts.Resume != nil || opts.Checkpoint != nil {
-		return nil, solver.Stats{}, fmt.Errorf("multiwafer: backend does not support checkpoint/resume (single-wafer only)")
+	if err := opts.RejectCheckpoint(b.Name()); err != nil {
+		return nil, solver.Stats{}, err
 	}
 	if !op.IsUnitDiagonal() {
 		return nil, solver.Stats{}, fmt.Errorf("multiwafer: operator must be unit-diagonal")

@@ -242,6 +242,23 @@ func New(cfg Config, op *stencil.Op7Half) (*Cluster, error) {
 	return c, nil
 }
 
+// LoadCoeff swaps the cluster's stencil operator without rebuilding the
+// wafer machines: each wafer's halo SpMV rewrites its coefficient
+// sub-extent in place, everything else (routing, tasks, solver vectors,
+// adjacency, reduction order) is reused. Solve re-initializes the
+// vectors on every call, so a warm cluster serves an arbitrary sequence
+// of solves on the same mesh and grid — the service layer's
+// machine-cache contract. The operator's mesh must match the cluster's.
+func (c *Cluster) LoadCoeff(op *stencil.Op7Half) error {
+	if op.M != c.Mesh {
+		return fmt.Errorf("multiwafer: operator mesh %v does not match cluster mesh %v", op.M, c.Mesh)
+	}
+	for _, wf := range c.wafers {
+		wf.spmv.LoadCoeff(op)
+	}
+	return nil
+}
+
 // locate returns the wafer index and local tile index owning global
 // mesh column (gx, gy).
 func (c *Cluster) locate(gx, gy int) (wi, ti int) {

@@ -198,6 +198,9 @@ func (c *Cluster) Solve(bvec []fp16.Float16, opts kernels.WSEOptions) ([]fp16.Fl
 
 		rel := c.residualNorm() / bnorm
 		st.History = append(st.History, rel)
+		if opts.Progress != nil {
+			opts.Progress(len(st.History), rel)
+		}
 		if opts.Tol > 0 && rel <= opts.Tol {
 			st.Converged = true
 			return finish()

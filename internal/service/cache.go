@@ -1,0 +1,143 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/multiwafer"
+	"repro/internal/stencil"
+	"repro/internal/wse"
+)
+
+// machineKey identifies a reusable simulated machine: everything that
+// is baked into the built program — fabric shape, Z depth, stepping
+// engine, wafer grid — but not the coefficients (swapped per job with
+// LoadCoeff) or the right-hand side (re-initialized by every Solve).
+type machineKey struct {
+	backend             core.Backend // Wafer or MultiWafer
+	nx, ny, nz, workers int
+	grid                multiwafer.Topology // multiwafer only
+}
+
+// warmMachine is one pooled machine. Exactly one of wafer/cluster is
+// set. For the single-wafer solver, pristine is the just-built machine
+// capture: the Listing 1 FIFO pipeline's accumulation order is
+// timing-dependent, so every checkout rewinds to it before loading the
+// job's coefficients — bit-identical to a cold build (pinned by
+// kernels.TestWarmSolverReuseBitIdentical). The multiwafer cluster's
+// fixed program order is reuse-stable with LoadCoeff alone.
+type warmMachine struct {
+	key      machineKey
+	mach     *wse.Machine
+	wafer    *kernels.BiCGStabWSE
+	pristine *wse.Snapshot
+	cluster  *multiwafer.Cluster
+}
+
+func (w *warmMachine) close() {
+	if w.mach != nil {
+		w.mach.Close()
+	}
+	if w.cluster != nil {
+		w.cluster.Close()
+	}
+}
+
+// machineCache pools warm machines across jobs. Building a machine —
+// routing tables, task programs, memory layout — dominates small-job
+// latency; a cache hit reduces per-job setup to a snapshot restore plus
+// a coefficient rewrite. Checked-out machines are not tracked: the
+// caller must return them with put (or close them on build errors).
+type machineCache struct {
+	mu      sync.Mutex
+	idle    map[machineKey][]*warmMachine
+	idleN   int
+	maxIdle int
+	closed  bool
+
+	hits, misses atomic.Int64
+}
+
+func newMachineCache(maxIdle int) *machineCache {
+	if maxIdle <= 0 {
+		maxIdle = 8
+	}
+	return &machineCache{idle: make(map[machineKey][]*warmMachine), maxIdle: maxIdle}
+}
+
+// checkout returns an idle machine for the key and prepares it for the
+// operator: single-wafer machines rewind to their pristine capture,
+// then both kinds load the job's coefficients. Returns nil on a miss —
+// the caller builds cold and puts the machine back afterwards.
+func (c *machineCache) checkout(key machineKey, op *stencil.Op7Half) (*warmMachine, error) {
+	c.mu.Lock()
+	list := c.idle[key]
+	var w *warmMachine
+	if n := len(list); n > 0 {
+		w = list[n-1]
+		c.idle[key] = list[:n-1]
+		c.idleN--
+	}
+	c.mu.Unlock()
+	if w == nil {
+		c.misses.Add(1)
+		return nil, nil
+	}
+	if w.wafer != nil {
+		if err := w.wafer.Reset(w.pristine); err != nil {
+			w.close()
+			return nil, err
+		}
+		if err := w.wafer.LoadCoeff(op); err != nil {
+			w.close()
+			return nil, err
+		}
+	} else {
+		if err := w.cluster.LoadCoeff(op); err != nil {
+			w.close()
+			return nil, err
+		}
+	}
+	c.hits.Add(1)
+	return w, nil
+}
+
+// put returns a machine to the pool, closing it instead if the pool is
+// full or the cache is closed.
+func (c *machineCache) put(w *warmMachine) {
+	if w == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.closed || c.idleN >= c.maxIdle {
+		c.mu.Unlock()
+		w.close()
+		return
+	}
+	c.idle[w.key] = append(c.idle[w.key], w)
+	c.idleN++
+	c.mu.Unlock()
+}
+
+// stats returns the lifetime hit/miss counters.
+func (c *machineCache) stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// close shuts down every idle machine's simulation pool. Machines
+// checked out at close time are closed when put back.
+func (c *machineCache) close() {
+	c.mu.Lock()
+	c.closed = true
+	lists := c.idle
+	c.idle = make(map[machineKey][]*warmMachine)
+	c.idleN = 0
+	c.mu.Unlock()
+	for _, list := range lists {
+		for _, w := range list {
+			w.close()
+		}
+	}
+}

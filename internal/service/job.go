@@ -1,0 +1,236 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// JobState is a job's lifecycle position. Transitions:
+//
+//	queued → running → done | failed
+//	running → suspended (shutdown mid-solve) → queued (restart)
+//	running → queued (retry after a solve error, with backoff)
+type JobState string
+
+// Job states.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateSuspended JobState = "suspended"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+)
+
+// terminal reports whether no further transitions happen.
+func (s JobState) terminal() bool { return s == StateDone || s == StateFailed }
+
+// JobResult is a finished solve's payload: core.Result in wire shape.
+type JobResult struct {
+	Iterations   int            `json:"iterations"`
+	Converged    bool           `json:"converged"`
+	Breakdown    string         `json:"breakdown,omitempty"`
+	TrueResidual float64        `json:"true_residual"`
+	History      []float64      `json:"history"`
+	Telemetry    core.Telemetry `json:"telemetry"`
+	// X is the solution vector; omitted from status and list views
+	// (fetch it from /v1/jobs/{id}/solution).
+	X []float64 `json:"x,omitempty"`
+}
+
+func resultFrom(res core.Result) *JobResult {
+	return &JobResult{
+		Iterations:   res.Iterations,
+		Converged:    res.Converged,
+		Breakdown:    res.Breakdown,
+		TrueResidual: res.TrueResidual,
+		History:      res.History,
+		Telemetry:    res.Telemetry,
+		X:            res.X,
+	}
+}
+
+// JobView is the wire and spool representation of a job.
+type JobView struct {
+	ID          string    `json:"id"`
+	Spec        JobSpec   `json:"spec"`
+	State       JobState  `json:"state"`
+	Attempts    int       `json:"attempts,omitempty"`
+	Error       string    `json:"error,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	// Iter and Rel are the live progress of a running simulated solve
+	// (the last appended residual-history entry).
+	Iter   int        `json:"iter,omitempty"`
+	Rel    float64    `json:"rel,omitempty"`
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// progressPoint is one residual-stream sample: the solver's 1-based
+// iteration number and the relative residual it appended to History.
+type progressPoint struct {
+	Iter int     `json:"iter"`
+	Rel  float64 `json:"rel"`
+}
+
+// job is the server-side state of one submitted solve.
+type job struct {
+	mu        sync.Mutex
+	id        string
+	spec      JobSpec
+	state     JobState
+	attempts  int
+	errMsg    string
+	submitted time.Time
+	points    []progressPoint
+	result    *JobResult
+	done      chan struct{} // closed on the first terminal transition
+}
+
+func newJob(id string, spec JobSpec, submitted time.Time) *job {
+	return &job{id: id, spec: spec, state: StateQueued, submitted: submitted, done: make(chan struct{})}
+}
+
+// view snapshots the job. includeX keeps the solution vector, which
+// only the solution endpoint and the spool want.
+func (j *job) view(includeX bool) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID: j.id, Spec: j.spec, State: j.state, Attempts: j.attempts,
+		Error: j.errMsg, SubmittedAt: j.submitted,
+	}
+	if n := len(j.points); n > 0 {
+		v.Iter, v.Rel = j.points[n-1].Iter, j.points[n-1].Rel
+	}
+	if j.result != nil {
+		r := *j.result
+		if !includeX {
+			r.X = nil
+		}
+		v.Result = &r
+	}
+	return v
+}
+
+// setState transitions the job, closing done on the first terminal
+// state.
+func (j *job) setState(s JobState) {
+	j.mu.Lock()
+	wasTerminal := j.state.terminal()
+	j.state = s
+	j.mu.Unlock()
+	if s.terminal() && !wasTerminal {
+		close(j.done)
+	}
+}
+
+// addPoint records a live residual sample (the solver's Progress hook).
+func (j *job) addPoint(iter int, rel float64) {
+	j.mu.Lock()
+	j.points = append(j.points, progressPoint{Iter: iter, Rel: rel})
+	j.mu.Unlock()
+}
+
+// pointsSince returns a copy of the samples after index n and the
+// job's state, read atomically — the stream endpoint's cursor read.
+func (j *job) pointsSince(n int) ([]progressPoint, JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n >= len(j.points) {
+		return nil, j.state
+	}
+	out := make([]progressPoint, len(j.points)-n)
+	copy(out, j.points[n:])
+	return out, j.state
+}
+
+// spool is the durable job store: one JSON record per job plus an
+// optional checkpoint blob, both written atomically (tmp + rename) so a
+// crash mid-write leaves the previous version intact. A zero dir
+// disables persistence.
+type spool struct{ dir string }
+
+func (sp spool) enabled() bool { return sp.dir != "" }
+
+func (sp spool) jobPath(id string) string  { return filepath.Join(sp.dir, id+".json") }
+func (sp spool) ckptPath(id string) string { return filepath.Join(sp.dir, id+".ckpt") }
+
+func (sp spool) writeFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func (sp spool) writeJob(v JobView) error {
+	if !sp.enabled() {
+		return nil
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return sp.writeFile(sp.jobPath(v.ID), data)
+}
+
+func (sp spool) writeCkpt(id string, blob []byte) error {
+	if !sp.enabled() {
+		return fmt.Errorf("service: no spool directory configured")
+	}
+	return sp.writeFile(sp.ckptPath(id), blob)
+}
+
+func (sp spool) readCkpt(id string) []byte {
+	if !sp.enabled() {
+		return nil
+	}
+	blob, err := os.ReadFile(sp.ckptPath(id))
+	if err != nil {
+		return nil
+	}
+	return blob
+}
+
+func (sp spool) removeCkpt(id string) {
+	if sp.enabled() {
+		os.Remove(sp.ckptPath(id))
+	}
+}
+
+// load scans the spool for job records, in ID order.
+func (sp spool) load() ([]JobView, error) {
+	if !sp.enabled() {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(sp.dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var views []JobView
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(sp.dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var v JobView
+		if err := json.Unmarshal(data, &v); err != nil {
+			return nil, fmt.Errorf("service: corrupt spool record %s: %w", name, err)
+		}
+		views = append(views, v)
+	}
+	return views, nil
+}

@@ -1,0 +1,261 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadMix selects the ssbench operation mix.
+type LoadMix string
+
+// Mixes: FullWrite is 100% solve submissions (each timed submit →
+// poll-to-terminal); ReadWrite interleaves status reads of finished
+// jobs against a 20% write stream — the classic cache-friendly
+// read-mostly profile.
+const (
+	MixFullWrite LoadMix = "full-write"
+	MixReadWrite LoadMix = "mixed"
+)
+
+// ParseLoadMix maps the flag names to a mix.
+func ParseLoadMix(s string) (LoadMix, error) {
+	switch LoadMix(s) {
+	case MixFullWrite:
+		return MixFullWrite, nil
+	case MixReadWrite:
+		return MixReadWrite, nil
+	}
+	return "", fmt.Errorf("service: unknown load mix %q (want full-write or mixed)", s)
+}
+
+// LoadOptions configures one load-generation run against a daemon.
+type LoadOptions struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8844".
+	BaseURL string
+	Mix     LoadMix
+	// Concurrency is the number of client workers; default 4.
+	Concurrency int
+	// Ops is the total operation budget across workers; default 64.
+	Ops int
+	// WriteFraction is the share of writes under MixReadWrite; default
+	// 0.2. MixFullWrite ignores it.
+	WriteFraction float64
+	// Spec is the job submitted by write operations.
+	Spec JobSpec
+	// PollInterval is the status-poll cadence while waiting for a
+	// submitted job to finish; default 2ms.
+	PollInterval time.Duration
+	// Client overrides the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Seed drives the mix's read/write interleave; default 1.
+	Seed int64
+}
+
+// LatencySummary condenses one operation class's latencies.
+type LatencySummary struct {
+	Count int
+	Avg   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	Max   time.Duration
+}
+
+func summarize(lat []time.Duration) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	pick := func(q float64) time.Duration {
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	return LatencySummary{
+		Count: len(lat),
+		Avg:   sum / time.Duration(len(lat)),
+		P50:   pick(0.50),
+		P95:   pick(0.95),
+		Max:   lat[len(lat)-1],
+	}
+}
+
+// LoadStats reports one run. QPS counts all operations (writes are
+// submit-to-done round trips, reads are single status GETs) over the
+// wall-clock of the whole run.
+type LoadStats struct {
+	Elapsed time.Duration
+	QPS     float64
+	Writes  LatencySummary
+	Reads   LatencySummary
+	Errors  int
+}
+
+// RunLoad drives the daemon with Concurrency workers until the Ops
+// budget is spent and reports throughput and latency. It is the engine
+// of cmd/ssbench and of the root BenchmarkService entries the
+// regression gate tracks.
+func RunLoad(o LoadOptions) (LoadStats, error) {
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+	if o.Ops <= 0 {
+		o.Ops = 64
+	}
+	if o.WriteFraction <= 0 {
+		o.WriteFraction = 0.2
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 2 * time.Millisecond
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Mix == "" {
+		o.Mix = MixFullWrite
+	}
+
+	var (
+		mu       sync.Mutex
+		writeLat []time.Duration
+		readLat  []time.Duration
+		doneIDs  []string
+		errs     int
+	)
+	ops := make(chan int, o.Ops)
+	for i := 0; i < o.Ops; i++ {
+		ops <- i
+	}
+	close(ops)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + int64(worker)))
+			for range ops {
+				doWrite := o.Mix == MixFullWrite || rng.Float64() < o.WriteFraction
+				if !doWrite {
+					mu.Lock()
+					var id string
+					if len(doneIDs) > 0 {
+						id = doneIDs[rng.Intn(len(doneIDs))]
+					}
+					mu.Unlock()
+					if id == "" {
+						// Nothing to read yet: fall through to a write so
+						// the run always makes progress.
+						doWrite = true
+					} else {
+						t0 := time.Now()
+						err := getJSON(o.Client, o.BaseURL+"/v1/jobs/"+id, nil)
+						d := time.Since(t0)
+						mu.Lock()
+						if err != nil {
+							errs++
+						} else {
+							readLat = append(readLat, d)
+						}
+						mu.Unlock()
+						continue
+					}
+				}
+				if doWrite {
+					t0 := time.Now()
+					id, err := submitAndWait(o.Client, o.BaseURL, o.Spec, o.PollInterval)
+					d := time.Since(t0)
+					mu.Lock()
+					if err != nil {
+						errs++
+					} else {
+						writeLat = append(writeLat, d)
+						doneIDs = append(doneIDs, id)
+					}
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := LoadStats{
+		Elapsed: elapsed,
+		Writes:  summarize(writeLat),
+		Reads:   summarize(readLat),
+		Errors:  errs,
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		st.QPS = float64(st.Writes.Count+st.Reads.Count) / sec
+	}
+	if errs > 0 {
+		return st, fmt.Errorf("service: load run finished with %d failed operations", errs)
+	}
+	return st, nil
+}
+
+// submitAndWait POSTs the spec and polls the job to a terminal state,
+// returning the job ID.
+func submitAndWait(c *http.Client, base string, spec JobSpec, poll time.Duration) (string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("service: submit: %s: %s", resp.Status, data)
+	}
+	var v JobView
+	if err := json.Unmarshal(data, &v); err != nil {
+		return "", err
+	}
+	for {
+		var jv JobView
+		if err := getJSON(c, base+"/v1/jobs/"+v.ID, &jv); err != nil {
+			return "", err
+		}
+		switch jv.State {
+		case StateDone:
+			return v.ID, nil
+		case StateFailed:
+			return "", fmt.Errorf("service: job %s failed: %s", v.ID, jv.Error)
+		}
+		time.Sleep(poll)
+	}
+}
+
+func getJSON(c *http.Client, url string, out any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("service: GET %s: %s: %s", url, resp.Status, data)
+	}
+	if out == nil {
+		_, err := io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

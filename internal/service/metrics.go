@@ -1,0 +1,146 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds, in seconds. Solves
+// span host microseconds to multi-second wafer simulations.
+var latencyBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60,
+}
+
+// backendMetrics accumulates one backend's counters. Guarded by
+// metrics.mu.
+type backendMetrics struct {
+	submitted, completed, failed, retried, suspended int64
+	latencySum                                       float64 // seconds, completed solves
+	latencyCount                                     int64
+	latencyBucket                                    []int64 // cumulative-at-scrape, stored per-bucket
+}
+
+// metrics is the /metrics registry: plain counters under a mutex,
+// rendered in the Prometheus text exposition format. No client library
+// — the format is five lines of fmt.
+type metrics struct {
+	start time.Time
+
+	mu  sync.Mutex
+	per map[string]*backendMetrics
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), per: make(map[string]*backendMetrics)}
+}
+
+func (m *metrics) backend(name string) *backendMetrics {
+	bm := m.per[name]
+	if bm == nil {
+		bm = &backendMetrics{latencyBucket: make([]int64, len(latencyBuckets))}
+		m.per[name] = bm
+	}
+	return bm
+}
+
+func (m *metrics) submitted(backend string) {
+	m.mu.Lock()
+	m.backend(backend).submitted++
+	m.mu.Unlock()
+}
+
+func (m *metrics) retried(backend string) {
+	m.mu.Lock()
+	m.backend(backend).retried++
+	m.mu.Unlock()
+}
+
+func (m *metrics) suspended(backend string) {
+	m.mu.Lock()
+	m.backend(backend).suspended++
+	m.mu.Unlock()
+}
+
+func (m *metrics) failed(backend string) {
+	m.mu.Lock()
+	m.backend(backend).failed++
+	m.mu.Unlock()
+}
+
+func (m *metrics) completed(backend string, d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	bm := m.backend(backend)
+	bm.completed++
+	bm.latencySum += sec
+	bm.latencyCount++
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			bm.latencyBucket[i]++
+			break
+		}
+	}
+	m.mu.Unlock()
+}
+
+// qps returns completed solves per second of uptime for one backend.
+func (m *metrics) qps(backend string, now time.Time) float64 {
+	up := now.Sub(m.start).Seconds()
+	if up <= 0 {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bm := m.per[backend]
+	if bm == nil {
+		return 0
+	}
+	return float64(bm.completed) / up
+}
+
+// write renders the registry. queueDepth, running and the cache
+// counters come from the server, which owns those gauges.
+func (m *metrics) write(w io.Writer, queueDepth, running int, cacheHits, cacheMisses int64) {
+	now := time.Now()
+	up := now.Sub(m.start).Seconds()
+	fmt.Fprintf(w, "# TYPE wsesimd_uptime_seconds gauge\nwsesimd_uptime_seconds %g\n", up)
+	fmt.Fprintf(w, "# TYPE wsesimd_queue_depth gauge\nwsesimd_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "# TYPE wsesimd_jobs_running gauge\nwsesimd_jobs_running %d\n", running)
+	fmt.Fprintf(w, "# TYPE wsesimd_machine_cache_hits_total counter\nwsesimd_machine_cache_hits_total %d\n", cacheHits)
+	fmt.Fprintf(w, "# TYPE wsesimd_machine_cache_misses_total counter\nwsesimd_machine_cache_misses_total %d\n", cacheMisses)
+	rate := 0.0
+	if total := cacheHits + cacheMisses; total > 0 {
+		rate = float64(cacheHits) / float64(total)
+	}
+	fmt.Fprintf(w, "# TYPE wsesimd_machine_cache_hit_rate gauge\nwsesimd_machine_cache_hit_rate %g\n", rate)
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.per))
+	for name := range m.per {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bm := m.per[name]
+		fmt.Fprintf(w, "wsesimd_jobs_submitted_total{backend=%q} %d\n", name, bm.submitted)
+		fmt.Fprintf(w, "wsesimd_jobs_completed_total{backend=%q} %d\n", name, bm.completed)
+		fmt.Fprintf(w, "wsesimd_jobs_failed_total{backend=%q} %d\n", name, bm.failed)
+		fmt.Fprintf(w, "wsesimd_jobs_retried_total{backend=%q} %d\n", name, bm.retried)
+		fmt.Fprintf(w, "wsesimd_jobs_suspended_total{backend=%q} %d\n", name, bm.suspended)
+		if up > 0 {
+			fmt.Fprintf(w, "wsesimd_solve_qps{backend=%q} %g\n", name, float64(bm.completed)/up)
+		}
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += bm.latencyBucket[i]
+			fmt.Fprintf(w, "wsesimd_solve_latency_seconds_bucket{backend=%q,le=%q} %d\n", name, fmt.Sprintf("%g", ub), cum)
+		}
+		fmt.Fprintf(w, "wsesimd_solve_latency_seconds_bucket{backend=%q,le=\"+Inf\"} %d\n", name, bm.latencyCount)
+		fmt.Fprintf(w, "wsesimd_solve_latency_seconds_sum{backend=%q} %g\n", name, bm.latencySum)
+		fmt.Fprintf(w, "wsesimd_solve_latency_seconds_count{backend=%q} %d\n", name, bm.latencyCount)
+	}
+	m.mu.Unlock()
+}

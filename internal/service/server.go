@@ -1,0 +1,518 @@
+// Package service implements wsesimd, the solver-as-a-service layer: a
+// persistent daemon owning a pool of warm, pre-built simulated machines
+// behind an HTTP/JSON job API. Clients POST a JobSpec — a fully
+// deterministic problem description — and get a job ID to poll or
+// stream; the daemon schedules solves over a bounded worker pool,
+// reuses machines across jobs through a keyed cache (fabric shape +
+// depth + engine + wafer grid), spools every job durably, retries
+// transient failures with backoff, and on SIGTERM checkpoints in-flight
+// wafer solves so a restarted daemon resumes them bit-identically.
+// Results are bit-identical to a direct core.Solve call — the cache and
+// the crash path are invisible in the numbers (pinned by this package's
+// tests and the warm-reuse tests in kernels and multiwafer).
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// SpoolDir is the durable job store; empty disables persistence
+	// (jobs and results live in memory only).
+	SpoolDir string
+	// Workers is the solve worker-pool size; default 4. Each worker runs
+	// one job at a time, so this bounds concurrent simulations.
+	Workers int
+	// QueueDepth bounds the pending-job queue; default 256. Submissions
+	// beyond it are rejected with 503.
+	QueueDepth int
+	// MaxIdleMachines bounds the warm-machine cache; default 8.
+	MaxIdleMachines int
+	// SuspendEvery is the checkpoint cadence (iterations) armed on every
+	// wafer job so a draining daemon can suspend it at the next
+	// boundary; default 4. Checkpoints are only written while draining.
+	SuspendEvery int
+	// MaxRetries is how many times a failed solve is re-queued before
+	// the job fails for good; default 2.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt; default 100ms.
+	RetryBackoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxIdleMachines <= 0 {
+		c.MaxIdleMachines = 8
+	}
+	if c.SuspendEvery <= 0 {
+		c.SuspendEvery = 4
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Server is the daemon: job registry, worker pool, machine cache,
+// metrics and the HTTP API. Create with New, launch with Start, stop
+// with Shutdown.
+type Server struct {
+	cfg     Config
+	spool   spool
+	cache   *machineCache
+	metrics *metrics
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for GET /v1/jobs
+	seq   int      // last issued job number
+
+	queue    chan *job
+	quit     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	running  atomic.Int64
+
+	// injectFault, when non-nil, replaces the solve for matching
+	// attempts — the retry path's test seam.
+	injectFault func(spec JobSpec, attempt int) error
+	// testIterHook, when non-nil, runs inside every solve's progress
+	// callback — the shutdown test's seam for holding a solve
+	// mid-flight until draining starts.
+	testIterHook func(j *job, iter int)
+}
+
+// New builds a server and recovers the spool: finished jobs come back
+// servable, interrupted ones (queued, running or suspended at crash
+// time) are re-queued — suspended wafer jobs resume from their
+// checkpoint blob, the rest re-run from their deterministic spec. Start
+// must be called to begin solving.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		spool:   spool{dir: cfg.SpoolDir},
+		cache:   newMachineCache(cfg.MaxIdleMachines),
+		metrics: newMetrics(),
+		jobs:    make(map[string]*job),
+		queue:   make(chan *job, cfg.QueueDepth),
+		quit:    make(chan struct{}),
+	}
+	if s.spool.enabled() {
+		if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	views, err := s.spool.load()
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range views {
+		j := newJob(v.ID, v.Spec, v.SubmittedAt)
+		j.attempts = v.Attempts
+		j.errMsg = v.Error
+		j.result = v.Result
+		var n int
+		if _, err := fmt.Sscanf(v.ID, "j%06d", &n); err == nil && n > s.seq {
+			s.seq = n
+		}
+		s.jobs[v.ID] = j
+		s.order = append(s.order, v.ID)
+		if v.State.terminal() {
+			j.state = v.State
+			close(j.done)
+			continue
+		}
+		// Interrupted mid-flight: back to the queue. The spec is
+		// deterministic and any checkpoint blob is picked up by runJob,
+		// so nothing is lost.
+		j.state = StateQueued
+		if err := s.spool.writeJob(j.view(true)); err != nil {
+			return nil, err
+		}
+		s.queue <- j
+	}
+	return s, nil
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Shutdown drains the daemon: no new submissions, queued jobs stay
+// spooled, running wafer solves suspend at their next checkpoint
+// boundary, and the machine cache is released. It returns when every
+// worker has parked or the context expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.stopOnce.Do(func() { close(s.quit) })
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.cache.close()
+	return err
+}
+
+// CacheStats exposes the machine cache's lifetime hit/miss counters
+// (also served on /metrics).
+func (s *Server) CacheStats() (hits, misses int64) { return s.cache.stats() }
+
+// Submit registers and enqueues a job, returning its status view.
+func (s *Server) Submit(spec JobSpec) (JobView, error) {
+	spec = spec.withDefaults()
+	if _, err := spec.Options(); err != nil {
+		return JobView{}, err
+	}
+	if s.draining.Load() {
+		return JobView{}, errDraining
+	}
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("j%06d", s.seq)
+	j := newJob(id, spec, time.Now())
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+	if err := s.spool.writeJob(j.view(true)); err != nil {
+		return JobView{}, err
+	}
+	select {
+	case s.queue <- j:
+	default:
+		j.errMsg = "queue full"
+		j.setState(StateFailed)
+		s.spool.writeJob(j.view(true))
+		return JobView{}, errQueueFull
+	}
+	s.metrics.submitted(spec.Backend)
+	return j.view(false), nil
+}
+
+var (
+	errDraining  = errors.New("service: server is shutting down")
+	errQueueFull = errors.New("service: job queue is full")
+)
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		// Prefer quit so a draining worker parks even when the queue
+		// still has jobs (they stay spooled for the next start).
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one attempt of a job and routes the outcome: done,
+// suspended (shutdown checkpoint), retry with backoff, or failed.
+func (s *Server) runJob(j *job) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	j.mu.Lock()
+	j.attempts++
+	attempt := j.attempts
+	spec := j.spec
+	j.points = nil // a retry restarts the residual stream
+	j.mu.Unlock()
+	j.setState(StateRunning)
+	s.spool.writeJob(j.view(true))
+
+	start := time.Now()
+	res, err := s.solveAttempt(j, spec, attempt)
+	switch {
+	case err == nil:
+		j.mu.Lock()
+		j.result = resultFrom(res)
+		j.errMsg = ""
+		if len(j.points) == 0 {
+			// Host backends have no live progress hook; backfill the
+			// stream from the final history.
+			for i, rel := range res.History {
+				j.points = append(j.points, progressPoint{Iter: i + 1, Rel: rel})
+			}
+		}
+		j.mu.Unlock()
+		j.setState(StateDone)
+		s.spool.writeJob(j.view(true))
+		s.spool.removeCkpt(j.id)
+		s.metrics.completed(spec.Backend, time.Since(start))
+
+	case errors.Is(err, errSuspended):
+		// The checkpoint blob is already spooled (the callback wrote it
+		// before returning the sentinel).
+		j.setState(StateSuspended)
+		s.spool.writeJob(j.view(true))
+		s.metrics.suspended(spec.Backend)
+
+	case attempt <= s.cfg.MaxRetries:
+		j.mu.Lock()
+		j.errMsg = err.Error()
+		j.mu.Unlock()
+		j.setState(StateQueued)
+		s.spool.writeJob(j.view(true))
+		s.metrics.retried(spec.Backend)
+		backoff := s.cfg.RetryBackoff << (attempt - 1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTimer(backoff)
+			defer t.Stop()
+			select {
+			case <-s.quit:
+				// Stays queued in the spool; the next start re-runs it.
+			case <-t.C:
+				select {
+				case s.queue <- j:
+				case <-s.quit:
+				}
+			}
+		}()
+
+	default:
+		j.mu.Lock()
+		j.errMsg = err.Error()
+		j.mu.Unlock()
+		j.setState(StateFailed)
+		s.spool.writeJob(j.view(true))
+		s.metrics.failed(spec.Backend)
+	}
+}
+
+// solveAttempt builds the problem and runs one solve, arming the
+// shutdown-checkpoint hook on wafer jobs and resuming from a spooled
+// checkpoint when one exists.
+func (s *Server) solveAttempt(j *job, spec JobSpec, attempt int) (core.Result, error) {
+	if s.injectFault != nil {
+		if err := s.injectFault(spec, attempt); err != nil {
+			return core.Result{}, err
+		}
+	}
+	o, err := spec.Options()
+	if err != nil {
+		return core.Result{}, err
+	}
+	p, err := spec.BuildProblem()
+	if err != nil {
+		return core.Result{}, err
+	}
+	h := solveHooks{progress: j.addPoint}
+	if s.testIterHook != nil {
+		h.progress = func(iter int, rel float64) {
+			j.addPoint(iter, rel)
+			s.testIterHook(j, iter)
+		}
+	}
+	if o.Backend == core.Wafer && s.spool.enabled() {
+		h.checkpointEvery = s.cfg.SuspendEvery
+		h.checkpoint = func(blob []byte) error {
+			if !s.draining.Load() {
+				return nil
+			}
+			if err := s.spool.writeCkpt(j.id, blob); err != nil {
+				return err
+			}
+			return errSuspended
+		}
+		h.resume = s.spool.readCkpt(j.id)
+	}
+	return s.runSolve(p, o, h)
+}
+
+func (s *Server) getJob(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/jobs               submit a JobSpec, 202 + job view
+//	GET  /v1/jobs               list jobs (submission order)
+//	GET  /v1/jobs/{id}          job status + live progress
+//	GET  /v1/jobs/{id}/solution finished job's result incl. solution
+//	GET  /v1/jobs/{id}/stream   NDJSON residual stream, ends on terminal state
+//	GET  /metrics               Prometheus text metrics
+//	GET  /healthz               liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/solution", s.handleSolution)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad job spec: %w", err))
+		return
+	}
+	v, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, v)
+	case errors.Is(err, errDraining) || errors.Is(err, errQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.jobs[id].view(false))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view(false))
+}
+
+func (s *Server) handleSolution(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no such job"))
+		return
+	}
+	v := j.view(true)
+	if v.State != StateDone {
+		writeError(w, http.StatusConflict, fmt.Errorf("service: job is %s, solution available once done", v.State))
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleStream writes newline-delimited JSON: one
+// {"iter":N,"rel":R} line per residual-history entry (live for
+// simulated backends, a final burst for host backends), then a
+// terminal {"state":...} line.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.getJob(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no such job"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sent := 0
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		points, state := j.pointsSince(sent)
+		for _, pt := range points {
+			enc.Encode(pt)
+		}
+		sent += len(points)
+		if len(points) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if state.terminal() {
+			v := j.view(false)
+			final := map[string]any{"state": v.State}
+			if v.Result != nil {
+				final["iterations"] = v.Result.Iterations
+				final["converged"] = v.Result.Converged
+				final["true_residual"] = v.Result.TrueResidual
+			}
+			if v.Error != "" {
+				final["error"] = v.Error
+			}
+			enc.Encode(final)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, len(s.queue), int(s.running.Load()), hits, misses)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}

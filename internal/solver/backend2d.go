@@ -33,8 +33,8 @@ func (HostBackend2D) Name() string { return "host" }
 // Solve2D implements Backend2D with the generic BiCGStab over a float64
 // 9-point operator.
 func (HostBackend2D) Solve2D(op *stencil.Op9, b, x0 []float64, opts Options) ([]float64, Stats, error) {
-	if opts.Resume != nil || opts.Checkpoint != nil {
-		return nil, Stats{}, fmt.Errorf("solver: host backend does not support checkpoint/resume (wafer backends only)")
+	if err := opts.RejectCheckpoint("host"); err != nil {
+		return nil, Stats{}, err
 	}
 	ctx := NewF64()
 	a := ctx.NewOperator2D(op)

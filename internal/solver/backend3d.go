@@ -41,8 +41,8 @@ func (h HostBackend3D) Name() string {
 
 // Solve3D implements Backend3D with the generic BiCGStab.
 func (h HostBackend3D) Solve3D(op *stencil.Op7, b, x0 []float64, opts Options) ([]float64, Stats, error) {
-	if opts.Resume != nil || opts.Checkpoint != nil {
-		return nil, Stats{}, fmt.Errorf("solver: %s backend does not support checkpoint/resume (wafer backends only)", h.Name())
+	if err := opts.RejectCheckpoint(h.Name()); err != nil {
+		return nil, Stats{}, err
 	}
 	ctx := h.Context
 	if ctx == nil {

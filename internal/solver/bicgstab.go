@@ -38,6 +38,27 @@ func (o Options) maxIter() int {
 	return o.MaxIter
 }
 
+// CheckpointRequested reports whether any of the checkpoint/resume
+// options is set. Backends without a restorable substrate use it (via
+// RejectCheckpoint) to refuse the solve instead of silently dropping
+// the request.
+func (o Options) CheckpointRequested() bool {
+	return o.CheckpointEvery > 0 || o.Checkpoint != nil || o.Resume != nil
+}
+
+// RejectCheckpoint returns the canonical error for a backend that
+// cannot checkpoint or resume, or nil when no checkpoint option is
+// set. Every non-wafer backend (the host contexts, the multi-wafer
+// cluster, core.Solve's routing) calls this one helper, so the error
+// text and the notion of "checkpointing was requested" cannot drift
+// between layers.
+func (o Options) RejectCheckpoint(backend string) error {
+	if !o.CheckpointRequested() {
+		return nil
+	}
+	return fmt.Errorf("solver: %s backend does not support checkpoint/resume (wafer backends only)", backend)
+}
+
 // Stats reports the outcome of a solve.
 type Stats struct {
 	Iterations int

@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the wsesimd daemon (CI runs this; it also works
+# locally): start it on a spool, submit and fetch a solve over HTTP,
+# SIGTERM it mid-solve and verify the in-flight job suspends with a
+# checkpoint, restart it and verify the job resumes to completion,
+# demonstrate a warm-machine cache hit on /metrics, drive it with
+# ssbench, and bounce malformed requests. Needs only curl + grep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr=127.0.0.1:18931
+base="http://$addr"
+spool=$(mktemp -d)
+log=$(mktemp)
+bin=$(mktemp -d)/wsesimd
+pid=""
+
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$spool" "$log" "$(dirname "$bin")"
+}
+trap cleanup EXIT
+
+fail() { echo "daemon_smoke: FAIL: $*" >&2; echo "--- daemon log ---" >&2; cat "$log" >&2; exit 1; }
+
+status_code() { curl -s -o /dev/null -w '%{http_code}' "$@"; }
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    curl -sf "$base/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  fail "daemon never became ready"
+}
+
+go build -o "$bin" ./cmd/wsesimd
+
+start_daemon() {
+  "$bin" -addr "$addr" -spool "$spool" -workers 2 -suspend-every 2 >>"$log" 2>&1 &
+  pid=$!
+  wait_ready
+}
+
+start_daemon
+
+# --- 1. submit → poll → solution ------------------------------------
+id=$(curl -sf "$base/v1/jobs" -d '{"problem":"momentum","nx":4,"ny":4,"nz":8,"max_iter":4}' \
+  | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$id" ] || fail "submit returned no job id"
+for _ in $(seq 1 100); do
+  state=$(curl -sf "$base/v1/jobs/$id" | grep -o '"state":"[^"]*"' | cut -d'"' -f4)
+  [ "$state" = done ] && break
+  [ "$state" = failed ] && fail "job $id failed"
+  sleep 0.1
+done
+[ "$state" = done ] || fail "job $id stuck in state $state"
+curl -sf "$base/v1/jobs/$id/solution" | grep -q '"x":\[' || fail "solution has no x vector"
+curl -sf "$base/v1/jobs/$id/solution" | grep -q '"backend":"wafer"' || fail "solution has no telemetry"
+
+# A second same-shape job must reuse the warm machine: hit count goes up.
+curl -sf "$base/v1/jobs" -d '{"problem":"poisson","nx":4,"ny":4,"nz":8,"max_iter":4}' >/dev/null
+for _ in $(seq 1 100); do
+  hits=$(curl -sf "$base/metrics" | grep '^wsesimd_machine_cache_hits_total' | awk '{print $2}')
+  [ "${hits:-0}" -ge 1 ] && break
+  sleep 0.1
+done
+[ "${hits:-0}" -ge 1 ] || fail "no machine-cache hit after a same-shape job (hits=$hits)"
+
+# --- 2. SIGTERM mid-solve → suspended checkpoint → restart resumes ---
+# First run the same spec uninterrupted as a reference: the resumed job
+# must reproduce its solution byte for byte (jobs are deterministic, so
+# identical specs give identical results — interrupted or not).
+longspec='{"problem":"momentum","nx":8,"ny":8,"nz":32,"max_iter":100}'
+ref=$(curl -sf "$base/v1/jobs" -d "$longspec" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$ref" ] || fail "reference-job submit returned no id"
+for _ in $(seq 1 600); do
+  state=$(curl -sf "$base/v1/jobs/$ref" | grep -o '"state":"[^"]*"' | cut -d'"' -f4)
+  [ "$state" = done ] && break
+  [ "$state" = failed ] && fail "reference job failed"
+  sleep 0.1
+done
+[ "$state" = done ] || fail "reference job stuck in state $state"
+refsol=$(mktemp)
+curl -sf "$base/v1/jobs/$ref/solution" >"$refsol" || fail "reference solution fetch failed"
+
+big=$(curl -sf "$base/v1/jobs" -d "$longspec" \
+  | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$big" ] || fail "long-job submit returned no id"
+for _ in $(seq 1 200); do
+  iter=$(curl -sf "$base/v1/jobs/$big" | grep -o '"iter":[0-9]*' | cut -d: -f2)
+  [ "${iter:-0}" -ge 1 ] && break
+  sleep 0.05
+done
+[ "${iter:-0}" -ge 1 ] || fail "long job never started iterating"
+kill -TERM "$pid"
+wait "$pid" || fail "daemon exited non-zero on SIGTERM"
+pid=""
+grep -q '"state":"suspended"' "$spool/$big.json" || fail "long job not suspended in spool: $(cat "$spool/$big.json")"
+[ -s "$spool/$big.ckpt" ] || fail "no checkpoint blob for suspended job"
+
+start_daemon
+for _ in $(seq 1 600); do
+  state=$(curl -sf "$base/v1/jobs/$big" | grep -o '"state":"[^"]*"' | cut -d'"' -f4)
+  [ "$state" = done ] && break
+  [ "$state" = failed ] && fail "resumed job failed"
+  sleep 0.1
+done
+[ "$state" = done ] || fail "resumed job stuck in state $state"
+bigsol=$(mktemp)
+curl -sf "$base/v1/jobs/$big/solution" >"$bigsol" || fail "resumed solution fetch failed"
+# The job envelope (id, submitted_at, attempts) legitimately differs;
+# the solver result — history, solution vector, telemetry — must not.
+refres=$(grep -o '"result":.*' "$refsol") || fail "reference solution has no result"
+bigres=$(grep -o '"result":.*' "$bigsol") || fail "resumed solution has no result"
+[ "$refres" = "$bigres" ] || fail "resumed result differs from uninterrupted reference run"
+rm -f "$refsol" "$bigsol"
+[ -e "$spool/$big.ckpt" ] && fail "checkpoint blob not removed after completion"
+
+# --- 3. ssbench drives the daemon -----------------------------------
+go run ./cmd/ssbench -addr "$base" -mix mixed -ops 12 -c 3 | grep -q 'ops/s' \
+  || fail "ssbench produced no throughput line"
+
+# --- 4. malformed requests bounce, correctly typed ------------------
+[ "$(status_code "$base/v1/jobs" -d '{"nx":4,"ny":4,"nz":8,"backend":"gpu"}')" = 400 ] || fail "bad backend not 400"
+[ "$(status_code "$base/v1/jobs" -d '{"nx":4,"ny":4,"nz":7,"backend":"wafer"}')" = 400 ] || fail "odd nz not 400"
+[ "$(status_code "$base/v1/jobs" -d '{"nx":4,"ny":4,"nz":8,"frobnicate":1}')" = 400 ] || fail "unknown field not 400"
+[ "$(status_code "$base/v1/jobs" -d 'not json')" = 400 ] || fail "non-JSON not 400"
+[ "$(status_code "$base/v1/jobs/j999999")" = 404 ] || fail "unknown job not 404"
+
+echo "daemon_smoke: PASS"
