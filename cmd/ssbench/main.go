@@ -5,9 +5,14 @@
 // finished jobs against a 20% submit stream, the cache-friendly
 // profile).
 //
+// With -cancel-frac a share of the submissions DELETE their job right
+// after posting it — the chaos mix that exercises cooperative
+// cancellation under concurrent load.
+//
 //	wsesimd -addr :8844 &
 //	ssbench -addr http://127.0.0.1:8844 -mix full-write -ops 64 -c 8
 //	ssbench -addr http://127.0.0.1:8844 -mix mixed -ops 256 -c 8
+//	ssbench -addr http://127.0.0.1:8844 -mix mixed -cancel-frac 0.25 -ops 64 -c 8
 //
 // The same engine (internal/service.RunLoad) backs the root
 // BenchmarkService entries, so the QPS and latency medians land in
@@ -35,6 +40,7 @@ func main() {
 	ops := flag.Int("ops", 64, "total operations across all workers")
 	conc := flag.Int("c", 4, "concurrent client workers")
 	writeFrac := flag.Float64("write-fraction", 0.2, "share of writes under -mix mixed")
+	cancelFrac := flag.Float64("cancel-frac", 0, "share of writes that DELETE their job right after submitting (chaos mix)")
 	poll := flag.Duration("poll", 2*time.Millisecond, "status poll interval while waiting for a solve")
 
 	problem := flag.String("problem", "momentum", "submitted job: problem generator (poisson|momentum|random)")
@@ -56,6 +62,9 @@ func main() {
 	if *writeFrac <= 0 || *writeFrac > 1 {
 		fatalUsage("-write-fraction must be in (0, 1]; got %v", *writeFrac)
 	}
+	if *cancelFrac < 0 || *cancelFrac >= 1 {
+		fatalUsage("-cancel-frac must be in [0, 1); got %v", *cancelFrac)
+	}
 	spec := service.JobSpec{
 		Problem: *problem, NX: *nx, NY: *ny, NZ: *nz,
 		Backend: *backend, MaxIter: *iters, Grid: *grid,
@@ -65,21 +74,22 @@ func main() {
 	}
 
 	st, err := service.RunLoad(service.LoadOptions{
-		BaseURL:       *addr,
-		Mix:           mix,
-		Concurrency:   *conc,
-		Ops:           *ops,
-		WriteFraction: *writeFrac,
-		Spec:          spec,
-		PollInterval:  *poll,
+		BaseURL:        *addr,
+		Mix:            mix,
+		Concurrency:    *conc,
+		Ops:            *ops,
+		WriteFraction:  *writeFrac,
+		CancelFraction: *cancelFrac,
+		Spec:           spec,
+		PollInterval:   *poll,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ssbench: %v\n", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("mix %s: %d writes + %d reads in %v  (%.1f ops/s)\n",
-		mix, st.Writes.Count, st.Reads.Count, st.Elapsed.Round(time.Millisecond), st.QPS)
+	fmt.Printf("mix %s: %d writes + %d reads + %d cancels in %v  (%.1f ops/s)\n",
+		mix, st.Writes.Count, st.Reads.Count, st.Cancels.Count, st.Elapsed.Round(time.Millisecond), st.QPS)
 	printClass := func(name string, l service.LatencySummary) {
 		if l.Count == 0 {
 			return
@@ -90,4 +100,5 @@ func main() {
 	}
 	printClass("solve (write)", st.Writes)
 	printClass("status (read)", st.Reads)
+	printClass("cancel", st.Cancels)
 }

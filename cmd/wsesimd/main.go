@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/service"
 )
 
@@ -49,6 +50,11 @@ func main() {
 	retries := flag.Int("retries", 2, "solve retries before a job fails")
 	backoff := flag.Duration("retry-backoff", 100*time.Millisecond, "delay before the first retry, doubling per attempt")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max wait for in-flight jobs to finish or suspend at shutdown")
+	jobTTL := flag.Duration("job-ttl", 0, "default job lifetime from submission when the spec has no timeout_ms (0: none)")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive backend failures that trip its circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped circuit stays open before a half-open probe")
+	maxBody := flag.Int64("max-body", 1<<20, "POST /v1/jobs request body cap in bytes")
+	injectFaults := flag.String("inject-spool-faults", "", "TESTING ONLY: comma-separated op:substr:skip:times:mode spool fault rules (see internal/faultinject)")
 	flag.Parse()
 
 	if *workers <= 0 || *queueDepth <= 0 || *maxIdle <= 0 || *suspendEvery <= 0 {
@@ -57,15 +63,38 @@ func main() {
 	if *retries < 0 {
 		fatalUsage("-retries must be >= 0; got %d", *retries)
 	}
+	if *breakerThreshold <= 0 || *breakerCooldown <= 0 {
+		fatalUsage("-breaker-threshold and -breaker-cooldown must be positive")
+	}
+	if *maxBody <= 0 {
+		fatalUsage("-max-body must be positive; got %d", *maxBody)
+	}
+	if *jobTTL < 0 {
+		fatalUsage("-job-ttl must be >= 0; got %v", *jobTTL)
+	}
+	var fs faultinject.FS
+	if *injectFaults != "" {
+		rules, err := faultinject.Parse(*injectFaults)
+		if err != nil {
+			fatalUsage("-inject-spool-faults: %v", err)
+		}
+		fs = faultinject.NewFaultFS(nil, rules...)
+		log.Printf("wsesimd: FAULT INJECTION ACTIVE on the spool: %s", *injectFaults)
+	}
 
 	s, err := service.New(service.Config{
-		SpoolDir:        *spool,
-		Workers:         *workers,
-		QueueDepth:      *queueDepth,
-		MaxIdleMachines: *maxIdle,
-		SuspendEvery:    *suspendEvery,
-		MaxRetries:      *retries,
-		RetryBackoff:    *backoff,
+		SpoolDir:         *spool,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		MaxIdleMachines:  *maxIdle,
+		SuspendEvery:     *suspendEvery,
+		MaxRetries:       *retries,
+		RetryBackoff:     *backoff,
+		DefaultTTL:       *jobTTL,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		MaxBody:          *maxBody,
+		FS:               fs,
 	})
 	if err != nil {
 		log.Fatalf("wsesimd: %v", err)
@@ -76,7 +105,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("wsesimd: %v", err)
 	}
-	httpSrv := &http.Server{Handler: s.Handler()}
+	// Slow-client protection. No WriteTimeout: /v1/jobs/{id}/stream
+	// legitimately writes for the lifetime of a solve; response writes
+	// are bounded instead by the OS socket buffers plus IdleTimeout.
+	httpSrv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("wsesimd: %v", err)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	stdctx "context"
 	"fmt"
 	"math"
 	"math/big"
@@ -32,6 +33,19 @@ import (
 // The operator must be unit-diagonal (call Normalize first), matching
 // the other backends.
 func ParallelBiCGStab(op *stencil.Op7, b []float64, ranks, maxIter int, tol float64) ([]float64, []float64, error) {
+	return ParallelBiCGStabContext(nil, op, b, ranks, maxIter, tol)
+}
+
+// ParallelBiCGStabContext is ParallelBiCGStab with cooperative
+// cancellation (ctx may be nil). SPMD ranks must never diverge on
+// whether a collective happens — a rank that observed cancellation
+// while a peer did not would deadlock the blocking allreduce — so
+// cancellation is itself a collective: at the top of every iteration
+// rank 0 polls ctx and contributes the verdict through the reducer,
+// and every rank sees the identical value and unwinds (or continues)
+// together. The poll runs only when ctx is non-nil, so context-free
+// solves pay nothing.
+func ParallelBiCGStabContext(ctx stdctx.Context, op *stencil.Op7, b []float64, ranks, maxIter int, tol float64) ([]float64, []float64, error) {
 	if !op.IsUnitDiagonal() {
 		return nil, nil, fmt.Errorf("cluster: operator must be unit-diagonal")
 	}
@@ -44,7 +58,7 @@ func ParallelBiCGStab(op *stencil.Op7, b []float64, ranks, maxIter int, tol floa
 		return nil, nil, fmt.Errorf("cluster: mesh %v does not divide into %d×%d×%d blocks", m, px, py, pz)
 	}
 
-	g := &grid{op: op, m: m, px: px, py: py, pz: pz,
+	g := &grid{op: op, m: m, ctx: ctx, px: px, py: py, pz: pz,
 		bx: m.NX / px, by: m.NY / py, bz: m.NZ / pz}
 	g.reducer = newReducer(ranks)
 	// Halo mailboxes: one buffered channel per (rank, face).
@@ -90,6 +104,7 @@ func ParallelBiCGStab(op *stencil.Op7, b []float64, ranks, maxIter int, tol floa
 type grid struct {
 	op         *stencil.Op7
 	m          stencil.Mesh
+	ctx        stdctx.Context // nil = never canceled
 	px, py, pz int
 	bx, by, bz int
 	mail       [][6]chan []float64
@@ -175,6 +190,23 @@ func (g *grid) runRank(r int, bGlobal, xGlobal []float64, maxIter int, tol float
 		return g.reducer.allreduce(r, acc, naive, finite)
 	}
 
+	// canceled is the collective cancellation poll: rank 0 reads ctx and
+	// its verdict reaches every rank through the same exact allreduce the
+	// dots use, so all ranks agree on whether this iteration runs.
+	canceled := func() bool {
+		if g.ctx == nil {
+			return false
+		}
+		var flag float64
+		if r == 0 && g.ctx.Err() != nil {
+			flag = 1
+		}
+		acc.SetInt64(0)
+		term.SetFloat64(flag)
+		acc.Add(acc, term)
+		return g.reducer.allreduce(r, acc, flag, true) != 0
+	}
+
 	// r0 = r = p = b (zero initial guess).
 	copy(r0, b)
 	copy(rv, b)
@@ -197,6 +229,12 @@ func (g *grid) runRank(r int, bGlobal, xGlobal []float64, maxIter int, tol float
 	}
 
 	for it := 0; it < maxIter; it++ {
+		if canceled() {
+			// Rank 0 observed ctx done before the poll, and the reducer's
+			// release happens-after that observation, so ctx.Err() is
+			// non-nil on every rank here.
+			return nil, fmt.Errorf("cluster: solve canceled: %w", g.ctx.Err())
+		}
 		spmv(s, p)
 		r0s := dot(r0, s)
 		if r0s == 0 {

@@ -18,6 +18,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/cluster"
 	"repro/internal/fp16"
 	"repro/internal/kernels"
@@ -60,6 +62,16 @@ type Result struct {
 // Solve runs BiCGStab on the selected backend. It validates o first;
 // invalid options fail with a *OptionError before any work happens.
 func Solve(p Problem, o Options) (Result, error) {
+	return SolveContext(nil, p, o)
+}
+
+// SolveContext is Solve with cooperative cancellation: every backend
+// polls ctx at iteration boundaries (the only points where a simulated
+// machine is guaranteed idle) and unwinds with an error wrapping
+// ctx.Err(), so errors.Is against context.Canceled or
+// context.DeadlineExceeded classifies the outcome. A nil ctx means no
+// cancellation, identical to Solve.
+func SolveContext(ctx context.Context, p Problem, o Options) (Result, error) {
 	var res Result
 	if err := o.Validate(); err != nil {
 		return res, err
@@ -71,14 +83,15 @@ func Solve(p Problem, o Options) (Result, error) {
 	sb := stencil.ScaleRHS(p.B, diag)
 	switch o.Backend {
 	case Local:
-		ctx := o.Local.Precision.context()
-		a := ctx.NewOperator(norm)
-		bv := ctx.NewVector(len(sb))
+		actx := o.Local.Precision.context()
+		a := actx.NewOperator(norm)
+		bv := actx.NewVector(len(sb))
 		for i, v := range sb {
 			bv.Set(i, v)
 		}
-		xv := ctx.NewVector(len(sb))
-		st, err := solver.BiCGStab(ctx, a, bv, xv, solver.Options{
+		xv := actx.NewVector(len(sb))
+		st, err := solver.BiCGStab(actx, a, bv, xv, solver.Options{
+			Ctx:     ctx,
 			MaxIter: o.MaxIter, Tol: o.Tol, RecordHistory: true,
 		})
 		if err != nil {
@@ -102,6 +115,7 @@ func Solve(p Problem, o Options) (Result, error) {
 			return res, err
 		}
 		x16, st, err := w.Solve(fp16.FromFloat64Slice(sb), kernels.WSEOptions{
+			Ctx:     ctx,
 			MaxIter: o.MaxIter, Tol: o.Tol,
 			CheckpointEvery: o.Wafer.CheckpointEvery,
 			Checkpoint:      o.Wafer.Checkpoint,
@@ -124,6 +138,7 @@ func Solve(p Problem, o Options) (Result, error) {
 		}
 		be := &multiwafer.Backend{Grid: grid, Workers: o.MultiWafer.Workers}
 		x, st, err := be.Solve3D(norm, sb, make([]float64, len(sb)), solver.Options{
+			Ctx:     ctx,
 			MaxIter: o.MaxIter, Tol: o.Tol, RecordHistory: true,
 		})
 		if err != nil {
@@ -145,7 +160,7 @@ func Solve(p Problem, o Options) (Result, error) {
 		if ranks == 0 {
 			ranks = 8
 		}
-		x, hist, err := cluster.ParallelBiCGStab(norm, sb, ranks, o.MaxIter, o.Tol)
+		x, hist, err := cluster.ParallelBiCGStabContext(ctx, norm, sb, ranks, o.MaxIter, o.Tol)
 		if err != nil {
 			return res, err
 		}

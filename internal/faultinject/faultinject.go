@@ -1,0 +1,311 @@
+// Package faultinject provides deterministic failure injection for the
+// robustness layer: a filesystem seam the service spool routes every
+// I/O operation through, a fault plan that makes chosen operations
+// fail, tear, or hit ENOSPC, and a crash-point registry that lets chaos
+// tests "kill" a worker at a named instant between two durable writes.
+//
+// Production code always runs with the passthrough OS implementation
+// and nil crash registries — the seam costs one interface call per
+// spool operation and nothing else. Tests (and the wsesimd
+// -inject-spool-faults flag backing scripts/chaos_smoke.sh) install a
+// FaultFS with a parsed Plan to prove that no fault sequence can lose a
+// job or corrupt a result.
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// FS is the filesystem seam: the exact set of operations the service
+// spool performs. Implementations must be safe for concurrent use.
+type FS interface {
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	Rename(oldpath, newpath string) error
+	ReadFile(name string) ([]byte, error)
+	Remove(name string) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// OS is the passthrough FS production code uses.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+
+// Op classifies an FS operation for rule matching.
+type Op string
+
+// Operations.
+const (
+	OpWrite   Op = "write"
+	OpRename  Op = "rename"
+	OpRead    Op = "read"
+	OpRemove  Op = "remove"
+	OpReadDir Op = "readdir"
+	OpMkdir   Op = "mkdir"
+)
+
+// Mode is what an injected fault does to the operation.
+type Mode string
+
+// Modes. Fail rejects the operation without touching the file. Torn
+// writes only the first half of the data and then reports success — the
+// classic torn write a crash mid-write leaves behind, visible once a
+// following rename publishes it. ENOSPC writes half and returns
+// syscall.ENOSPC, a full-disk mid-write.
+const (
+	ModeFail   Mode = "fail"
+	ModeTorn   Mode = "torn"
+	ModeENOSPC Mode = "enospc"
+)
+
+// ErrInjected is the base error injected by ModeFail rules.
+var ErrInjected = fmt.Errorf("faultinject: injected fault")
+
+// Rule selects which operations fault and how. A rule matches an
+// operation when Op is empty or equal and PathContains is empty or a
+// substring of the path. Of the matching operations, the first Skip
+// pass through untouched, then Times of them fault (Times < 0 means
+// every one from there on).
+type Rule struct {
+	Op           Op
+	PathContains string
+	Skip         int
+	Times        int
+	Mode         Mode
+
+	matched int // matching ops seen so far; guarded by FaultFS.mu
+}
+
+// String renders the rule in the Parse format.
+func (r *Rule) String() string {
+	return fmt.Sprintf("%s:%s:%d:%d:%s", r.Op, r.PathContains, r.Skip, r.Times, r.Mode)
+}
+
+// Parse builds a fault plan from a comma-separated list of
+// "op:substr:skip:times:mode" rules — the wsesimd -inject-spool-faults
+// wire format. Empty op or substr match everything; times -1 means
+// "every matching operation after the first skip".
+//
+//	write::6:3:fail        after 6 spool writes, fail the next 3
+//	write:.ckpt:0:1:torn   tear the first checkpoint write
+//	rename::10:-1:enospc   every rename past the 10th hits ENOSPC
+func Parse(spec string) ([]*Rule, error) {
+	var rules []*Rule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f := strings.Split(part, ":")
+		if len(f) != 5 {
+			return nil, fmt.Errorf("faultinject: rule %q: want op:substr:skip:times:mode", part)
+		}
+		op := Op(f[0])
+		switch op {
+		case "", OpWrite, OpRename, OpRead, OpRemove, OpReadDir, OpMkdir:
+		default:
+			return nil, fmt.Errorf("faultinject: rule %q: unknown op %q", part, f[0])
+		}
+		skip, err := strconv.Atoi(f[2])
+		if err != nil || skip < 0 {
+			return nil, fmt.Errorf("faultinject: rule %q: bad skip %q", part, f[2])
+		}
+		times, err := strconv.Atoi(f[3])
+		if err != nil || times == 0 || times < -1 {
+			return nil, fmt.Errorf("faultinject: rule %q: bad times %q (want -1 or >= 1)", part, f[3])
+		}
+		mode := Mode(f[4])
+		switch mode {
+		case ModeFail, ModeTorn, ModeENOSPC:
+		default:
+			return nil, fmt.Errorf("faultinject: rule %q: unknown mode %q", part, f[4])
+		}
+		rules = append(rules, &Rule{Op: op, PathContains: f[1], Skip: skip, Times: times, Mode: mode})
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faultinject: empty fault spec")
+	}
+	return rules, nil
+}
+
+// FaultFS wraps an FS with a fault plan. Each operation is matched
+// against every rule in order; the first rule due to fire decides the
+// fault. Safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	rules    []*Rule
+	injected int64 // total faults fired
+}
+
+// NewFaultFS wraps inner (nil means OS) with the given rules.
+func NewFaultFS(inner FS, rules ...*Rule) *FaultFS {
+	if inner == nil {
+		inner = OS
+	}
+	return &FaultFS{inner: inner, rules: rules}
+}
+
+// Injected returns how many faults have fired.
+func (f *FaultFS) Injected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// decide returns the mode to inject for this operation, or "" to pass
+// it through.
+func (f *FaultFS) decide(op Op, path string) Mode {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.rules {
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		r.matched++
+		n := r.matched - r.Skip // 1-based index into the faulting window
+		if n <= 0 {
+			continue
+		}
+		if r.Times >= 0 && n > r.Times {
+			continue
+		}
+		f.injected++
+		return r.Mode
+	}
+	return ""
+}
+
+func (f *FaultFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	switch f.decide(OpWrite, name) {
+	case ModeFail:
+		return fmt.Errorf("%w: write %s", ErrInjected, name)
+	case ModeTorn:
+		return f.inner.WriteFile(name, data[:len(data)/2], perm)
+	case ModeENOSPC:
+		if err := f.inner.WriteFile(name, data[:len(data)/2], perm); err != nil {
+			return err
+		}
+		return &os.PathError{Op: "write", Path: name, Err: syscall.ENOSPC}
+	}
+	return f.inner.WriteFile(name, data, perm)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if mode := f.decide(OpRename, newpath); mode != "" {
+		if mode == ModeENOSPC {
+			return &os.PathError{Op: "rename", Path: newpath, Err: syscall.ENOSPC}
+		}
+		return fmt.Errorf("%w: rename %s", ErrInjected, newpath)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	switch f.decide(OpRead, name) {
+	case ModeFail, ModeENOSPC:
+		return nil, fmt.Errorf("%w: read %s", ErrInjected, name)
+	case ModeTorn:
+		data, err := f.inner.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		return data[:len(data)/2], nil
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if f.decide(OpRemove, name) != "" {
+		return fmt.Errorf("%w: remove %s", ErrInjected, name)
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if f.decide(OpReadDir, name) != "" {
+		return nil, fmt.Errorf("%w: readdir %s", ErrInjected, name)
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if f.decide(OpMkdir, path) != "" {
+		return fmt.Errorf("%w: mkdir %s", ErrInjected, path)
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// Crashes is a registry of named crash points. The code under test
+// calls Hit at each point; a test arms a point with Arm and, when the
+// armed occurrence is reached, Hit reports true exactly once — the
+// caller then abandons its work mid-transition, exactly as if the
+// process had died there, and the test restarts the system from its
+// durable state. A nil *Crashes never fires, so production callers pass
+// nil and pay one nil check.
+type Crashes struct {
+	mu     sync.Mutex
+	points map[string]*crashPoint
+}
+
+type crashPoint struct {
+	countdown int // occurrences to let pass before firing
+	fired     chan struct{}
+}
+
+// NewCrashes returns an empty registry.
+func NewCrashes() *Crashes { return &Crashes{points: make(map[string]*crashPoint)} }
+
+// Arm schedules the point to fire on its n-th Hit (1-based). The
+// returned channel closes when it fires.
+func (c *Crashes) Arm(point string, n int) <-chan struct{} {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := &crashPoint{countdown: n, fired: make(chan struct{})}
+	c.points[point] = p
+	return p.fired
+}
+
+// Hit reports whether the named point fires now. A nil registry or an
+// unarmed point never fires; an armed point fires exactly once.
+func (c *Crashes) Hit(point string) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.points[point]
+	if p == nil || p.countdown == 0 {
+		return false
+	}
+	p.countdown--
+	if p.countdown > 0 {
+		return false
+	}
+	close(p.fired)
+	return true
+}

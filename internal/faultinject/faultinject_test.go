@@ -1,0 +1,142 @@
+package faultinject
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestFaultFSSkipTimesWindow(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(nil, &Rule{Op: OpWrite, Skip: 2, Times: 2, Mode: ModeFail})
+	data := []byte("0123456789")
+	var errs []bool
+	for i := 0; i < 6; i++ {
+		err := fs.WriteFile(filepath.Join(dir, "f"), data, 0o644)
+		errs = append(errs, err != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if errs[i] != want[i] {
+			t.Fatalf("write %d: faulted=%v, want %v (skip 2, times 2)", i+1, errs[i], want[i])
+		}
+	}
+	if got := fs.Injected(); got != 2 {
+		t.Errorf("Injected() = %d, want 2", got)
+	}
+}
+
+func TestFaultFSTornWriteTruncates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "record.json")
+	fs := NewFaultFS(nil, &Rule{Op: OpWrite, PathContains: "record", Skip: 0, Times: 1, Mode: ModeTorn})
+	data := []byte(`{"id":"j000001","state":"done"}`)
+	if err := fs.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("torn write must report success (the crash is noticed later): %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data)/2 {
+		t.Fatalf("torn write left %d bytes, want %d", len(got), len(data)/2)
+	}
+	// The window is spent: the next write is whole.
+	if err := fs.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); len(got) != len(data) {
+		t.Fatalf("second write left %d bytes, want %d", len(got), len(data))
+	}
+}
+
+func TestFaultFSENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(nil, &Rule{Op: OpWrite, Times: 1, Mode: ModeENOSPC})
+	err := fs.WriteFile(filepath.Join(dir, "f"), []byte("0123456789"), 0o644)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if got, _ := os.ReadFile(filepath.Join(dir, "f")); len(got) != 5 {
+		t.Fatalf("ENOSPC left %d bytes, want 5 (half written)", len(got))
+	}
+}
+
+func TestFaultFSPathAndOpFilters(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(nil, &Rule{Op: OpRename, PathContains: ".ckpt", Times: -1, Mode: ModeFail})
+	tmp := filepath.Join(dir, "a.tmp")
+	if err := fs.WriteFile(tmp, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, "a.json")); err != nil {
+		t.Fatalf("non-matching rename faulted: %v", err)
+	}
+	if err := fs.WriteFile(tmp, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, "a.ckpt")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("matching rename err = %v, want ErrInjected", err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	rules, err := Parse("write::6:3:fail, write:.ckpt:0:1:torn,rename::10:-1:enospc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	if rules[0].Skip != 6 || rules[0].Times != 3 || rules[0].Mode != ModeFail {
+		t.Errorf("rule 0 = %v", rules[0])
+	}
+	if rules[1].PathContains != ".ckpt" || rules[1].Mode != ModeTorn {
+		t.Errorf("rule 1 = %v", rules[1])
+	}
+	if rules[2].Times != -1 || rules[2].Mode != ModeENOSPC {
+		t.Errorf("rule 2 = %v", rules[2])
+	}
+
+	for _, bad := range []string{
+		"", "write::0:fail", "frob::0:1:fail", "write::x:1:fail",
+		"write::0:0:fail", "write::0:-2:fail", "write::0:1:explode",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestCrashes(t *testing.T) {
+	var nilC *Crashes
+	if nilC.Hit("anything") {
+		t.Fatal("nil registry fired")
+	}
+	c := NewCrashes()
+	if c.Hit("unarmed") {
+		t.Fatal("unarmed point fired")
+	}
+	fired := c.Arm("run.before-done", 2)
+	if c.Hit("run.before-done") {
+		t.Fatal("fired on occurrence 1 of 2")
+	}
+	select {
+	case <-fired:
+		t.Fatal("channel closed early")
+	default:
+	}
+	if !c.Hit("run.before-done") {
+		t.Fatal("did not fire on occurrence 2 of 2")
+	}
+	select {
+	case <-fired:
+	default:
+		t.Fatal("channel not closed after firing")
+	}
+	if c.Hit("run.before-done") {
+		t.Fatal("fired twice")
+	}
+}

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/fp16"
@@ -141,6 +142,13 @@ type WSEStats struct {
 
 // WSEOptions controls the wafer solve.
 type WSEOptions struct {
+	// Ctx, if non-nil, is polled at the top of every iteration for
+	// cooperative cancellation. Cancellation unwinds between iterations,
+	// when the fabric is idle, so the machine stays in a consistent
+	// (resettable, snapshottable) state. The returned error wraps
+	// Ctx.Err().
+	Ctx context.Context
+
 	MaxIter int
 	// Tol stops when ‖r‖/‖b‖ falls below it; 0 runs MaxIter iterations.
 	Tol float64

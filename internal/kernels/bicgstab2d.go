@@ -161,6 +161,7 @@ func (w *Wafer2DBackend) Solve2D(op *stencil.Op9, b, x0 []float64, opts solver.O
 	}
 
 	x16, st, err := w.prog.Solve(scaled, WSEOptions{
+		Ctx:     opts.Ctx,
 		MaxIter: opts.MaxIter, Tol: opts.Tol,
 		CheckpointEvery: opts.CheckpointEvery, Checkpoint: opts.Checkpoint, Resume: opts.Resume,
 	})

@@ -191,6 +191,14 @@ func (w *wseBiCG) solve(bvec []fp16.Float16, index func(tile, elem int) int, opt
 	}
 
 	for it := startIt; it < opts.MaxIter; it++ {
+		// Cancellation unwinds here, between iterations: the fabric is
+		// idle and every solver vector is consistent, so the caller may
+		// reset, snapshot, or reuse the machine.
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, st, fmt.Errorf("kernels: solve canceled: %w", err)
+			}
+		}
 		if opts.Checkpoint != nil && opts.CheckpointEvery > 0 &&
 			it > startIt && it%opts.CheckpointEvery == 0 {
 			st.MaxARDrift = w.maxDrift

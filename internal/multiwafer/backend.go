@@ -62,7 +62,7 @@ func (b *Backend) Solve3D(op *stencil.Op7, bvec, x0 []float64, opts solver.Optio
 		return nil, solver.Stats{}, err
 	}
 	defer c.Close()
-	x16, st, err := c.Solve(fp16.FromFloat64Slice(bvec), kernels.WSEOptions{MaxIter: opts.MaxIter, Tol: opts.Tol})
+	x16, st, err := c.Solve(fp16.FromFloat64Slice(bvec), kernels.WSEOptions{Ctx: opts.Ctx, MaxIter: opts.MaxIter, Tol: opts.Tol})
 	if err != nil {
 		return nil, solver.Stats{}, err
 	}

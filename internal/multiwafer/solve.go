@@ -135,6 +135,14 @@ func (c *Cluster) Solve(bvec []fp16.Float16, opts kernels.WSEOptions) ([]fp16.Fl
 	}
 
 	for it := 0; it < opts.MaxIter; it++ {
+		// Cancellation unwinds here, between iterations, while every
+		// wafer is idle — the cluster stays reusable (Solve re-inits all
+		// solver vectors on entry).
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, st, fmt.Errorf("multiwafer: solve canceled: %w", err)
+			}
+		}
 		st.Iterations = it + 1
 
 		// s := A p

@@ -1,8 +1,10 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,13 +12,17 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/kernels"
 )
 
 // JobState is a job's lifecycle position. Transitions:
 //
-//	queued → running → done | failed
+//	queued → running → done | failed | canceled | expired
 //	running → suspended (shutdown mid-solve) → queued (restart)
 //	running → queued (retry after a solve error, with backoff)
+//	queued → canceled (DELETE before a worker picked it up)
+//	queued → expired (deadline passed while waiting)
 type JobState string
 
 // Job states.
@@ -26,10 +32,32 @@ const (
 	StateSuspended JobState = "suspended"
 	StateDone      JobState = "done"
 	StateFailed    JobState = "failed"
+	// StateCanceled: a client canceled the job (DELETE /v1/jobs/{id}).
+	StateCanceled JobState = "canceled"
+	// StateExpired: the job's deadline (spec timeout_ms, or the server
+	// TTL) passed; distinct from canceled so clients can tell "I stopped
+	// it" from "it ran out of time".
+	StateExpired JobState = "expired"
 )
 
 // terminal reports whether no further transitions happen.
-func (s JobState) terminal() bool { return s == StateDone || s == StateFailed }
+func (s JobState) terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCanceled, StateExpired:
+		return true
+	}
+	return false
+}
+
+// knownState reports whether s is a state this server writes — spool
+// recovery quarantines records carrying anything else.
+func knownState(s JobState) bool {
+	switch s {
+	case StateQueued, StateRunning, StateSuspended, StateDone, StateFailed, StateCanceled, StateExpired:
+		return true
+	}
+	return false
+}
 
 // JobResult is a finished solve's payload: core.Result in wire shape.
 type JobResult struct {
@@ -39,6 +67,10 @@ type JobResult struct {
 	TrueResidual float64        `json:"true_residual"`
 	History      []float64      `json:"history"`
 	Telemetry    core.Telemetry `json:"telemetry"`
+	// Fallback marks a result produced by the host fallback path after
+	// the job's simulated backend tripped its circuit breaker (see
+	// JobSpec.AllowFallback for the numeric contract).
+	Fallback bool `json:"fallback,omitempty"`
 	// X is the solution vector; omitted from status and list views
 	// (fetch it from /v1/jobs/{id}/solution).
 	X []float64 `json:"x,omitempty"`
@@ -90,6 +122,12 @@ type job struct {
 	points    []progressPoint
 	result    *JobResult
 	done      chan struct{} // closed on the first terminal transition
+
+	// cancelled is set by DELETE /v1/jobs/{id}; the worker observes it
+	// before and during a solve. cancelFn, non-nil while an attempt is
+	// in flight, aborts that attempt's context.
+	cancelled bool
+	cancelFn  context.CancelFunc
 }
 
 func newJob(id string, spec JobSpec, submitted time.Time) *job {
@@ -119,15 +157,65 @@ func (j *job) view(includeX bool) JobView {
 }
 
 // setState transitions the job, closing done on the first terminal
-// state.
-func (j *job) setState(s JobState) {
+// state. Terminal states are final: a transition out of one is refused,
+// so a worker racing a cancellation can never resurrect a job. It
+// reports whether the transition applied.
+func (j *job) setState(s JobState) bool {
 	j.mu.Lock()
-	wasTerminal := j.state.terminal()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return false
+	}
 	j.state = s
 	j.mu.Unlock()
-	if s.terminal() && !wasTerminal {
+	if s.terminal() {
 		close(j.done)
 	}
+	return true
+}
+
+// requestCancel marks the job canceled by the client and aborts any
+// in-flight attempt. It reports false when the job is already terminal
+// (nothing to cancel).
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.cancelled = true
+	fn := j.cancelFn
+	j.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+	return true
+}
+
+// armCancel installs the running attempt's abort hook. It reports false
+// when cancellation was already requested — the attempt must not start.
+func (j *job) armCancel(fn context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancelled {
+		return false
+	}
+	j.cancelFn = fn
+	return true
+}
+
+// disarmCancel removes the attempt's abort hook once it finishes.
+func (j *job) disarmCancel() {
+	j.mu.Lock()
+	j.cancelFn = nil
+	j.mu.Unlock()
+}
+
+// cancelRequested reports whether a client asked for cancellation.
+func (j *job) cancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelled
 }
 
 // addPoint records a live residual sample (the solver's Progress hook).
@@ -150,11 +238,23 @@ func (j *job) pointsSince(n int) ([]progressPoint, JobState) {
 	return out, j.state
 }
 
+// quarantineDir is the subdirectory of the spool that corrupt records
+// are moved into instead of aborting startup or resuming from bad
+// state. Nothing under it is ever read back; it exists for operators.
+const quarantineDir = "quarantine"
+
 // spool is the durable job store: one JSON record per job plus an
 // optional checkpoint blob, both written atomically (tmp + rename) so a
-// crash mid-write leaves the previous version intact. A zero dir
-// disables persistence.
-type spool struct{ dir string }
+// crash mid-write leaves the previous version intact. All I/O routes
+// through the faultinject.FS seam so chaos tests can fail, tear, or
+// ENOSPC any operation. A zero dir disables persistence.
+type spool struct {
+	dir string
+	fs  faultinject.FS
+	// onQuarantine, if non-nil, observes every quarantined file (the
+	// server counts them into /metrics).
+	onQuarantine func(name string, reason error)
+}
 
 func (sp spool) enabled() bool { return sp.dir != "" }
 
@@ -163,10 +263,10 @@ func (sp spool) ckptPath(id string) string { return filepath.Join(sp.dir, id+".c
 
 func (sp spool) writeFile(path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := sp.fs.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	return sp.fs.Rename(tmp, path)
 }
 
 func (sp spool) writeJob(v JobView) error {
@@ -187,12 +287,20 @@ func (sp spool) writeCkpt(id string, blob []byte) error {
 	return sp.writeFile(sp.ckptPath(id), blob)
 }
 
+// readCkpt returns the job's checkpoint blob, checksum-verified: a blob
+// kernels.DecodeWSECheckpoint rejects (torn write, bit rot) is
+// quarantined and nil is returned, so the job re-runs from its
+// deterministic spec instead of resuming from corrupt state.
 func (sp spool) readCkpt(id string) []byte {
 	if !sp.enabled() {
 		return nil
 	}
-	blob, err := os.ReadFile(sp.ckptPath(id))
+	blob, err := sp.fs.ReadFile(sp.ckptPath(id))
 	if err != nil {
+		return nil
+	}
+	if _, err := kernels.DecodeWSECheckpoint(blob); err != nil {
+		sp.quarantine(id+".ckpt", fmt.Errorf("checkpoint failed verification: %w", err))
 		return nil
 	}
 	return blob
@@ -200,16 +308,35 @@ func (sp spool) readCkpt(id string) []byte {
 
 func (sp spool) removeCkpt(id string) {
 	if sp.enabled() {
-		os.Remove(sp.ckptPath(id))
+		sp.fs.Remove(sp.ckptPath(id))
 	}
 }
 
-// load scans the spool for job records, in ID order.
+// quarantine moves a corrupt spool file into the quarantine
+// subdirectory, logging and reporting it. A failed move leaves the file
+// in place (it will be skipped again next startup).
+func (sp spool) quarantine(name string, reason error) {
+	dst := filepath.Join(sp.dir, quarantineDir)
+	if err := sp.fs.MkdirAll(dst, 0o755); err == nil {
+		if err := sp.fs.Rename(filepath.Join(sp.dir, name), filepath.Join(dst, name)); err != nil {
+			log.Printf("service: spool: could not quarantine %s: %v", name, err)
+		}
+	}
+	log.Printf("service: spool: quarantined %s: %v", name, reason)
+	if sp.onQuarantine != nil {
+		sp.onQuarantine(name, reason)
+	}
+}
+
+// load scans the spool for job records, in ID order. Unreadable or
+// corrupt records — torn JSON, a record whose ID contradicts its
+// filename, an unknown state — are quarantined and skipped, never
+// fatal: one bad blob must not take the whole spool down with it.
 func (sp spool) load() ([]JobView, error) {
 	if !sp.enabled() {
 		return nil, nil
 	}
-	entries, err := os.ReadDir(sp.dir)
+	entries, err := sp.fs.ReadDir(sp.dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -222,13 +349,23 @@ func (sp spool) load() ([]JobView, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".json") {
 			continue
 		}
-		data, err := os.ReadFile(filepath.Join(sp.dir, name))
+		data, err := sp.fs.ReadFile(filepath.Join(sp.dir, name))
 		if err != nil {
-			return nil, err
+			sp.quarantine(name, fmt.Errorf("unreadable: %w", err))
+			continue
 		}
 		var v JobView
 		if err := json.Unmarshal(data, &v); err != nil {
-			return nil, fmt.Errorf("service: corrupt spool record %s: %w", name, err)
+			sp.quarantine(name, fmt.Errorf("corrupt JSON: %w", err))
+			continue
+		}
+		if want := strings.TrimSuffix(name, ".json"); v.ID != want {
+			sp.quarantine(name, fmt.Errorf("record ID %q contradicts filename", v.ID))
+			continue
+		}
+		if !knownState(v.State) {
+			sp.quarantine(name, fmt.Errorf("unknown state %q", v.State))
+			continue
 		}
 		views = append(views, v)
 	}

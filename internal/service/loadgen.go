@@ -47,6 +47,10 @@ type LoadOptions struct {
 	// WriteFraction is the share of writes under MixReadWrite; default
 	// 0.2. MixFullWrite ignores it.
 	WriteFraction float64
+	// CancelFraction is the share of write operations that DELETE their
+	// job right after submitting instead of polling it to completion —
+	// the chaos mix that exercises cancellation under load. 0 disables.
+	CancelFraction float64
 	// Spec is the job submitted by write operations.
 	Spec JobSpec
 	// PollInterval is the status-poll cadence while waiting for a
@@ -97,6 +101,9 @@ type LoadStats struct {
 	QPS     float64
 	Writes  LatencySummary
 	Reads   LatencySummary
+	// Cancels are submit-then-DELETE round trips (CancelFraction > 0),
+	// timed from submission to the job's terminal state.
+	Cancels LatencySummary
 	Errors  int
 }
 
@@ -128,11 +135,12 @@ func RunLoad(o LoadOptions) (LoadStats, error) {
 	}
 
 	var (
-		mu       sync.Mutex
-		writeLat []time.Duration
-		readLat  []time.Duration
-		doneIDs  []string
-		errs     int
+		mu        sync.Mutex
+		writeLat  []time.Duration
+		readLat   []time.Duration
+		cancelLat []time.Duration
+		doneIDs   []string
+		errs      int
 	)
 	ops := make(chan int, o.Ops)
 	for i := 0; i < o.Ops; i++ {
@@ -175,6 +183,19 @@ func RunLoad(o LoadOptions) (LoadStats, error) {
 					}
 				}
 				if doWrite {
+					if o.CancelFraction > 0 && rng.Float64() < o.CancelFraction {
+						t0 := time.Now()
+						err := submitAndCancel(o.Client, o.BaseURL, o.Spec, o.PollInterval)
+						d := time.Since(t0)
+						mu.Lock()
+						if err != nil {
+							errs++
+						} else {
+							cancelLat = append(cancelLat, d)
+						}
+						mu.Unlock()
+						continue
+					}
 					t0 := time.Now()
 					id, err := submitAndWait(o.Client, o.BaseURL, o.Spec, o.PollInterval)
 					d := time.Since(t0)
@@ -197,10 +218,11 @@ func RunLoad(o LoadOptions) (LoadStats, error) {
 		Elapsed: elapsed,
 		Writes:  summarize(writeLat),
 		Reads:   summarize(readLat),
+		Cancels: summarize(cancelLat),
 		Errors:  errs,
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
-		st.QPS = float64(st.Writes.Count+st.Reads.Count) / sec
+		st.QPS = float64(st.Writes.Count+st.Reads.Count+st.Cancels.Count) / sec
 	}
 	if errs > 0 {
 		return st, fmt.Errorf("service: load run finished with %d failed operations", errs)
@@ -238,6 +260,56 @@ func submitAndWait(c *http.Client, base string, spec JobSpec, poll time.Duration
 			return v.ID, nil
 		case StateFailed:
 			return "", fmt.Errorf("service: job %s failed: %s", v.ID, jv.Error)
+		}
+		time.Sleep(poll)
+	}
+}
+
+// submitAndCancel POSTs the spec, immediately DELETEs the job, and
+// polls it to a terminal state. Both canceled and done are wins — a
+// fast solve may legitimately beat the DELETE — but a failure is not.
+func submitAndCancel(c *http.Client, base string, spec JobSpec, poll time.Duration) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("service: submit: %s: %s", resp.Status, data)
+	}
+	var v JobView
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+v.ID, nil)
+	if err != nil {
+		return err
+	}
+	dresp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	// 409 means the job finished before the DELETE landed — fine.
+	if dresp.StatusCode != http.StatusOK && dresp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("service: cancel %s: %s", v.ID, dresp.Status)
+	}
+	for {
+		var jv JobView
+		if err := getJSON(c, base+"/v1/jobs/"+v.ID, &jv); err != nil {
+			return err
+		}
+		switch jv.State {
+		case StateCanceled, StateDone:
+			return nil
+		case StateFailed, StateExpired:
+			return fmt.Errorf("service: canceled job %s ended %s: %s", v.ID, jv.State, jv.Error)
 		}
 		time.Sleep(poll)
 	}

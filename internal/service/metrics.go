@@ -18,6 +18,7 @@ var latencyBuckets = []float64{
 // metrics.mu.
 type backendMetrics struct {
 	submitted, completed, failed, retried, suspended int64
+	canceled, expired, fallbacks, breakerTrips       int64
 	latencySum                                       float64 // seconds, completed solves
 	latencyCount                                     int64
 	latencyBucket                                    []int64 // cumulative-at-scrape, stored per-bucket
@@ -29,8 +30,9 @@ type backendMetrics struct {
 type metrics struct {
 	start time.Time
 
-	mu  sync.Mutex
-	per map[string]*backendMetrics
+	mu          sync.Mutex
+	per         map[string]*backendMetrics
+	quarantined int64 // spool files quarantined (not per-backend)
 }
 
 func newMetrics() *metrics {
@@ -67,6 +69,36 @@ func (m *metrics) suspended(backend string) {
 func (m *metrics) failed(backend string) {
 	m.mu.Lock()
 	m.backend(backend).failed++
+	m.mu.Unlock()
+}
+
+func (m *metrics) canceled(backend string) {
+	m.mu.Lock()
+	m.backend(backend).canceled++
+	m.mu.Unlock()
+}
+
+func (m *metrics) expired(backend string) {
+	m.mu.Lock()
+	m.backend(backend).expired++
+	m.mu.Unlock()
+}
+
+func (m *metrics) fallback(backend string) {
+	m.mu.Lock()
+	m.backend(backend).fallbacks++
+	m.mu.Unlock()
+}
+
+func (m *metrics) breakerTripped(backend string) {
+	m.mu.Lock()
+	m.backend(backend).breakerTrips++
+	m.mu.Unlock()
+}
+
+func (m *metrics) quarantine() {
+	m.mu.Lock()
+	m.quarantined++
 	m.mu.Unlock()
 }
 
@@ -118,6 +150,7 @@ func (m *metrics) write(w io.Writer, queueDepth, running int, cacheHits, cacheMi
 	fmt.Fprintf(w, "# TYPE wsesimd_machine_cache_hit_rate gauge\nwsesimd_machine_cache_hit_rate %g\n", rate)
 
 	m.mu.Lock()
+	fmt.Fprintf(w, "# TYPE wsesimd_spool_quarantined_total counter\nwsesimd_spool_quarantined_total %d\n", m.quarantined)
 	names := make([]string, 0, len(m.per))
 	for name := range m.per {
 		names = append(names, name)
@@ -130,6 +163,10 @@ func (m *metrics) write(w io.Writer, queueDepth, running int, cacheHits, cacheMi
 		fmt.Fprintf(w, "wsesimd_jobs_failed_total{backend=%q} %d\n", name, bm.failed)
 		fmt.Fprintf(w, "wsesimd_jobs_retried_total{backend=%q} %d\n", name, bm.retried)
 		fmt.Fprintf(w, "wsesimd_jobs_suspended_total{backend=%q} %d\n", name, bm.suspended)
+		fmt.Fprintf(w, "wsesimd_jobs_canceled_total{backend=%q} %d\n", name, bm.canceled)
+		fmt.Fprintf(w, "wsesimd_jobs_expired_total{backend=%q} %d\n", name, bm.expired)
+		fmt.Fprintf(w, "wsesimd_fallback_solves_total{backend=%q} %d\n", name, bm.fallbacks)
+		fmt.Fprintf(w, "wsesimd_breaker_trips_total{backend=%q} %d\n", name, bm.breakerTrips)
 		if up > 0 {
 			fmt.Fprintf(w, "wsesimd_solve_qps{backend=%q} %g\n", name, float64(bm.completed)/up)
 		}

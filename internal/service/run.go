@@ -1,12 +1,14 @@
 package service
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/core"
 	"repro/internal/fp16"
 	"repro/internal/kernels"
 	"repro/internal/multiwafer"
+	"repro/internal/solver"
 	"repro/internal/stencil"
 	"repro/internal/wse"
 )
@@ -36,7 +38,7 @@ type solveHooks struct {
 // returns": TestServiceBitIdenticalToDirectSolve pins it, and the
 // warm-reuse half rests on kernels.TestWarmSolverReuseBitIdentical /
 // multiwafer.TestClusterWarmReuseBitIdentical.
-func (s *Server) runSolve(p core.Problem, o core.Options, h solveHooks) (core.Result, error) {
+func (s *Server) runSolve(ctx context.Context, p core.Problem, o core.Options, h solveHooks) (core.Result, error) {
 	var res core.Result
 	if err := o.Validate(); err != nil {
 		return res, err
@@ -46,7 +48,7 @@ func (s *Server) runSolve(p core.Problem, o core.Options, h solveHooks) (core.Re
 	}
 	switch o.Backend {
 	case core.Local, core.Cluster:
-		return core.Solve(p, o)
+		return core.SolveContext(ctx, p, o)
 	}
 
 	norm, diag := p.Op.Normalize()
@@ -79,6 +81,7 @@ func (s *Server) runSolve(p core.Problem, o core.Options, h solveHooks) (core.Re
 		}
 		defer s.cache.put(w)
 		x16, st, err := w.wafer.Solve(fp16.FromFloat64Slice(sb), kernels.WSEOptions{
+			Ctx:     ctx,
 			MaxIter: o.MaxIter, Tol: o.Tol,
 			CheckpointEvery: h.checkpointEvery,
 			Checkpoint:      h.checkpoint,
@@ -115,6 +118,7 @@ func (s *Server) runSolve(p core.Problem, o core.Options, h solveHooks) (core.Re
 		}
 		defer s.cache.put(w)
 		x16, st, err := w.cluster.Solve(fp16.FromFloat64Slice(sb), kernels.WSEOptions{
+			Ctx:     ctx,
 			MaxIter: o.MaxIter, Tol: o.Tol, Progress: h.progress,
 		})
 		if err != nil {
@@ -127,6 +131,49 @@ func (s *Server) runSolve(p core.Problem, o core.Options, h solveHooks) (core.Re
 		res.History = st.History
 		res.Telemetry = core.TelemetryFromMultiWafer(st)
 	}
+	res.TrueResidual = norm.ResidualNorm(res.X, sb) / stencil.Norm2(sb)
+	return res, nil
+}
+
+// runFallback is the graceful-degradation path: a wafer or multiwafer
+// job whose backend's circuit breaker is open solves on the host in
+// chunked-mixed precision instead. The chunk size NZ makes the host
+// reduction order match the per-tile wafer dots combined by
+// cluster.ExactSum32, so for the multiwafer backend (and the halo
+// wafer engine) the residual history and solution are bit-identical to
+// the simulated solve — core.TestAllBackendsBitIdentical pins the
+// equivalence, and TestServiceFallback pins it end to end. The default
+// single-wafer engine's FIFO-pipeline SpMV associates its fp16 sums
+// differently, so its fallback is deterministic and lands on the same
+// fp16 accuracy plateau but can differ in last-place bits; the job's
+// result records Fallback so clients can tell.
+func (s *Server) runFallback(ctx context.Context, p core.Problem, o core.Options, h solveHooks) (core.Result, error) {
+	var res core.Result
+	if o.MaxIter == 0 {
+		o.MaxIter = 200
+	}
+	norm, diag := p.Op.Normalize()
+	sb := stencil.ScaleRHS(p.B, diag)
+	m := norm.M
+	be := solver.HostBackend3D{Context: solver.NewMixedChunked(m.NZ)}
+	x, st, err := be.Solve3D(norm, sb, make([]float64, len(sb)), solver.Options{
+		Ctx:     ctx,
+		MaxIter: o.MaxIter, Tol: o.Tol, RecordHistory: true,
+	})
+	if err != nil {
+		return res, err
+	}
+	if h.progress != nil {
+		for i, rel := range st.History {
+			h.progress(i+1, rel)
+		}
+	}
+	res.X = x
+	res.Iterations = st.Iterations
+	res.Converged = st.Converged
+	res.Breakdown = st.Breakdown
+	res.History = st.History
+	res.Telemetry = core.Telemetry{Backend: core.Local.String(), Precision: "mixed-chunked"}
 	res.TrueResidual = norm.ResidualNorm(res.X, sb) / stencil.Norm2(sb)
 	return res, nil
 }

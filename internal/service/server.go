@@ -10,6 +10,15 @@
 // Results are bit-identical to a direct core.Solve call — the cache and
 // the crash path are invisible in the numbers (pinned by this package's
 // tests and the warm-reuse tests in kernels and multiwafer).
+//
+// The robustness layer on top: jobs carry deadlines and can be canceled
+// (DELETE /v1/jobs/{id}) — both unwind a running solve cooperatively at
+// an iteration boundary, so the machine goes back to the warm cache in
+// a reusable state. Spool recovery quarantines corrupt records instead
+// of dying on them, a per-backend circuit breaker sheds load off a
+// failing backend (optionally falling back to the host solve), and
+// every spool write routes through a faultinject seam so chaos tests
+// can prove no crash instant loses or double-completes a job.
 package service
 
 import (
@@ -24,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 // Config sizes the daemon.
@@ -49,6 +59,26 @@ type Config struct {
 	// RetryBackoff is the delay before the first retry, doubling per
 	// attempt; default 100ms.
 	RetryBackoff time.Duration
+	// DefaultTTL caps a job's total lifetime (from submission) when its
+	// spec carries no timeout_ms; 0 means no server-side deadline.
+	DefaultTTL time.Duration
+	// BreakerThreshold is how many consecutive genuine solve failures on
+	// one backend trip its circuit breaker open; default 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped circuit stays open before
+	// admitting a half-open probe; default 5s.
+	BreakerCooldown time.Duration
+	// MaxBody bounds the POST /v1/jobs request body in bytes; default
+	// 1 MiB — a JobSpec is a few hundred bytes, anything near the limit
+	// is not a job submission.
+	MaxBody int64
+	// FS is the filesystem the spool uses; nil means the real one. Chaos
+	// tests (and wsesimd -inject-spool-faults) install a
+	// faultinject.FaultFS.
+	FS faultinject.FS
+	// Crashes is the crash-point registry chaos tests arm to "kill" a
+	// worker between two spool writes; nil — the default — never fires.
+	Crashes *faultinject.Crashes
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +102,15 @@ func (c Config) withDefaults() Config {
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 100 * time.Millisecond
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
 	return c
 }
 
@@ -83,6 +122,8 @@ type Server struct {
 	spool   spool
 	cache   *machineCache
 	metrics *metrics
+	breaker *breaker
+	crashes *faultinject.Crashes
 
 	mu    sync.Mutex
 	jobs  map[string]*job
@@ -108,19 +149,27 @@ type Server struct {
 // New builds a server and recovers the spool: finished jobs come back
 // servable, interrupted ones (queued, running or suspended at crash
 // time) are re-queued — suspended wafer jobs resume from their
-// checkpoint blob, the rest re-run from their deterministic spec. Start
+// checkpoint blob, the rest re-run from their deterministic spec.
+// Corrupt spool records are quarantined and skipped, never fatal. Start
 // must be called to begin solving.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	fs := cfg.FS
+	if fs == nil {
+		fs = faultinject.OS
+	}
 	s := &Server{
 		cfg:     cfg,
-		spool:   spool{dir: cfg.SpoolDir},
+		spool:   spool{dir: cfg.SpoolDir, fs: fs},
 		cache:   newMachineCache(cfg.MaxIdleMachines),
 		metrics: newMetrics(),
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		crashes: cfg.Crashes,
 		jobs:    make(map[string]*job),
 		queue:   make(chan *job, cfg.QueueDepth),
 		quit:    make(chan struct{}),
 	}
+	s.spool.onQuarantine = func(string, error) { s.metrics.quarantine() }
 	if s.spool.enabled() {
 		if err := os.MkdirAll(cfg.SpoolDir, 0o755); err != nil {
 			return nil, err
@@ -144,6 +193,9 @@ func New(cfg Config) (*Server, error) {
 		if v.State.terminal() {
 			j.state = v.State
 			close(j.done)
+			// A crash between the terminal write and the checkpoint
+			// cleanup leaves a stale blob behind; sweep it now.
+			s.spool.removeCkpt(v.ID)
 			continue
 		}
 		// Interrupted mid-flight: back to the queue. The spec is
@@ -223,9 +275,37 @@ func (s *Server) Submit(spec JobSpec) (JobView, error) {
 	return j.view(false), nil
 }
 
+// Cancel requests cancellation of a job. A job no worker holds (queued,
+// suspended) is finalized immediately; a running job's solve context is
+// canceled and its worker finalizes at the next iteration boundary —
+// the returned view may still say "running" in that window.
+func (s *Server) Cancel(id string) (JobView, error) {
+	j := s.getJob(id)
+	if j == nil {
+		return JobView{}, errNoSuchJob
+	}
+	if !j.requestCancel() {
+		return j.view(false), errJobTerminal
+	}
+	j.mu.Lock()
+	running := j.state == StateRunning
+	spec := j.spec
+	j.mu.Unlock()
+	if !running {
+		if applied, _ := s.transition(j, StateCanceled, "canceled by client"); applied {
+			s.spool.removeCkpt(j.id)
+			s.metrics.canceled(spec.Backend)
+		}
+	}
+	return j.view(false), nil
+}
+
 var (
-	errDraining  = errors.New("service: server is shutting down")
-	errQueueFull = errors.New("service: job queue is full")
+	errDraining    = errors.New("service: server is shutting down")
+	errQueueFull   = errors.New("service: job queue is full")
+	errBreakerOpen = errors.New("service: backend circuit breaker is open")
+	errNoSuchJob   = errors.New("service: no such job")
+	errJobTerminal = errors.New("service: job already in a terminal state")
 )
 
 func (s *Server) worker() {
@@ -247,54 +327,208 @@ func (s *Server) worker() {
 	}
 }
 
+// jobDeadline resolves a job's absolute deadline: the spec's timeout_ms
+// when set, else the server's default TTL. Measured from submission
+// time, so a deadline survives daemon restarts — a job cannot dodge its
+// TTL by crashing the process.
+func (s *Server) jobDeadline(spec JobSpec, submitted time.Time) (time.Time, bool) {
+	if spec.TimeoutMS > 0 {
+		return submitted.Add(time.Duration(spec.TimeoutMS) * time.Millisecond), true
+	}
+	if s.cfg.DefaultTTL > 0 {
+		return submitted.Add(s.cfg.DefaultTTL), true
+	}
+	return time.Time{}, false
+}
+
+// transition moves the job to state and durably spools the new record,
+// firing any armed crash points "run.before-<state>" and
+// "run.after-<state>" around the write. crashed reports that an armed
+// point fired — the caller must abandon the job immediately, exactly as
+// if the process had died at that instant, leaving recovery to the next
+// New over the same spool. applied is false when the job was already
+// terminal (a racing cancellation won); the caller skips its
+// bookkeeping so nothing is double-counted.
+func (s *Server) transition(j *job, state JobState, errMsg string) (applied, crashed bool) {
+	if s.crashes.Hit("run.before-" + string(state)) {
+		return false, true
+	}
+	if state != StateRunning {
+		j.mu.Lock()
+		j.errMsg = errMsg
+		j.mu.Unlock()
+	}
+	applied = j.setState(state)
+	s.spool.writeJob(j.view(true))
+	if s.crashes.Hit("run.after-" + string(state)) {
+		return applied, true
+	}
+	return applied, false
+}
+
 // runJob executes one attempt of a job and routes the outcome: done,
-// suspended (shutdown checkpoint), retry with backoff, or failed.
+// canceled, expired, suspended (shutdown checkpoint), retry with
+// backoff, or failed.
 func (s *Server) runJob(j *job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
 	j.mu.Lock()
+	if j.state.terminal() {
+		// Canceled or expired while sitting in the queue channel.
+		j.mu.Unlock()
+		return
+	}
+	spec := j.spec
+	submitted := j.submitted
+	lastErr := j.errMsg
+	j.mu.Unlock()
+
+	// Cancellation and expiry checks come before the attempt counter: a
+	// job that never ran ends with zero attempts. A DELETE that landed
+	// before any worker picked the job up finalizes here.
+	if j.cancelRequested() {
+		if applied, _ := s.transition(j, StateCanceled, "canceled by client"); applied {
+			s.spool.removeCkpt(j.id)
+			s.metrics.canceled(spec.Backend)
+		}
+		return
+	}
+
+	deadline, hasDeadline := s.jobDeadline(spec, submitted)
+	if hasDeadline && !time.Now().Before(deadline) {
+		if applied, _ := s.transition(j, StateExpired, "deadline expired before the job ran"); applied {
+			s.spool.removeCkpt(j.id)
+			s.metrics.expired(spec.Backend)
+		}
+		return
+	}
+
+	j.mu.Lock()
 	j.attempts++
 	attempt := j.attempts
-	spec := j.spec
 	j.points = nil // a retry restarts the residual stream
 	j.mu.Unlock()
-	j.setState(StateRunning)
-	s.spool.writeJob(j.view(true))
+
+	// Poison guard: attempts persist in the spool, so a job that keeps
+	// killing the daemon mid-solve comes back with its count intact and
+	// lands here once the budget is gone — terminally failed instead of
+	// getting another shot at taking the process down.
+	if attempt > s.cfg.MaxRetries+1 {
+		msg := fmt.Sprintf("poison job: retry budget exhausted after %d attempts", attempt-1)
+		if lastErr != "" {
+			msg += ": last error: " + lastErr
+		}
+		if applied, _ := s.transition(j, StateFailed, msg); applied {
+			s.spool.removeCkpt(j.id)
+			s.metrics.failed(spec.Backend)
+		}
+		return
+	}
+
+	if _, crashed := s.transition(j, StateRunning, ""); crashed {
+		return
+	}
+
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if hasDeadline {
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+	if !j.armCancel(cancel) {
+		// Cancellation raced the running transition.
+		if applied, _ := s.transition(j, StateCanceled, "canceled by client"); applied {
+			s.spool.removeCkpt(j.id)
+			s.metrics.canceled(spec.Backend)
+		}
+		return
+	}
 
 	start := time.Now()
-	res, err := s.solveAttempt(j, spec, attempt)
+	res, fellBack, err := s.solveAttempt(ctx, j, spec, attempt)
+	j.disarmCancel()
+
 	switch {
 	case err == nil:
+		if fellBack {
+			s.metrics.fallback(spec.Backend)
+		} else {
+			s.breaker.success(spec.Backend)
+		}
+		r := resultFrom(res)
+		r.Fallback = fellBack
 		j.mu.Lock()
-		j.result = resultFrom(res)
-		j.errMsg = ""
-		if len(j.points) == 0 {
-			// Host backends have no live progress hook; backfill the
-			// stream from the final history.
-			for i, rel := range res.History {
-				j.points = append(j.points, progressPoint{Iter: i + 1, Rel: rel})
+		if !j.state.terminal() {
+			j.result = r
+			j.errMsg = ""
+			if len(j.points) == 0 {
+				// Host backends have no live progress hook; backfill the
+				// stream from the final history.
+				for i, rel := range res.History {
+					j.points = append(j.points, progressPoint{Iter: i + 1, Rel: rel})
+				}
 			}
 		}
 		j.mu.Unlock()
-		j.setState(StateDone)
-		s.spool.writeJob(j.view(true))
-		s.spool.removeCkpt(j.id)
-		s.metrics.completed(spec.Backend, time.Since(start))
+		applied, crashed := s.transition(j, StateDone, "")
+		if crashed {
+			return
+		}
+		if applied {
+			s.spool.removeCkpt(j.id)
+			s.metrics.completed(spec.Backend, time.Since(start))
+		}
 
 	case errors.Is(err, errSuspended):
 		// The checkpoint blob is already spooled (the callback wrote it
 		// before returning the sentinel).
-		j.setState(StateSuspended)
-		s.spool.writeJob(j.view(true))
-		s.metrics.suspended(spec.Backend)
+		applied, crashed := s.transition(j, StateSuspended, "")
+		if crashed {
+			return
+		}
+		if applied {
+			s.metrics.suspended(spec.Backend)
+		}
+
+	case errors.Is(err, context.DeadlineExceeded):
+		applied, crashed := s.transition(j, StateExpired, err.Error())
+		if crashed {
+			return
+		}
+		if applied {
+			s.spool.removeCkpt(j.id)
+			s.metrics.expired(spec.Backend)
+		}
+
+	case errors.Is(err, context.Canceled) || j.cancelRequested():
+		applied, crashed := s.transition(j, StateCanceled, "canceled by client")
+		if crashed {
+			return
+		}
+		if applied {
+			s.spool.removeCkpt(j.id)
+			s.metrics.canceled(spec.Backend)
+		}
 
 	case attempt <= s.cfg.MaxRetries:
-		j.mu.Lock()
-		j.errMsg = err.Error()
-		j.mu.Unlock()
-		j.setState(StateQueued)
-		s.spool.writeJob(j.view(true))
+		// An open breaker consumed the attempt but exercised nothing, so
+		// it is not a backend failure; everything else counts toward the
+		// next trip.
+		if !errors.Is(err, errBreakerOpen) && !fellBack {
+			if s.breaker.failure(spec.Backend) {
+				s.metrics.breakerTripped(spec.Backend)
+			}
+		}
+		applied, crashed := s.transition(j, StateQueued, err.Error())
+		if crashed {
+			return
+		}
+		if !applied {
+			return
+		}
 		s.metrics.retried(spec.Backend)
 		backoff := s.cfg.RetryBackoff << (attempt - 1)
 		s.wg.Add(1)
@@ -314,37 +548,57 @@ func (s *Server) runJob(j *job) {
 		}()
 
 	default:
-		j.mu.Lock()
-		j.errMsg = err.Error()
-		j.mu.Unlock()
-		j.setState(StateFailed)
-		s.spool.writeJob(j.view(true))
-		s.metrics.failed(spec.Backend)
+		if !errors.Is(err, errBreakerOpen) && !fellBack {
+			if s.breaker.failure(spec.Backend) {
+				s.metrics.breakerTripped(spec.Backend)
+			}
+		}
+		applied, crashed := s.transition(j, StateFailed, err.Error())
+		if crashed {
+			return
+		}
+		if applied {
+			s.spool.removeCkpt(j.id)
+			s.metrics.failed(spec.Backend)
+		}
 	}
 }
 
-// solveAttempt builds the problem and runs one solve, arming the
-// shutdown-checkpoint hook on wafer jobs and resuming from a spooled
-// checkpoint when one exists.
-func (s *Server) solveAttempt(j *job, spec JobSpec, attempt int) (core.Result, error) {
-	if s.injectFault != nil {
-		if err := s.injectFault(spec, attempt); err != nil {
-			return core.Result{}, err
-		}
-	}
+// solveAttempt builds the problem and runs one solve under the
+// attempt's context, arming the shutdown-checkpoint hook on wafer jobs
+// and resuming from a spooled checkpoint when one exists. When the
+// backend's circuit breaker is open, a spec that allows it degrades to
+// the host fallback solve (fellBack true); otherwise the attempt is
+// refused with errBreakerOpen.
+func (s *Server) solveAttempt(ctx context.Context, j *job, spec JobSpec, attempt int) (res core.Result, fellBack bool, err error) {
 	o, err := spec.Options()
 	if err != nil {
-		return core.Result{}, err
+		return core.Result{}, false, err
 	}
 	p, err := spec.BuildProblem()
 	if err != nil {
-		return core.Result{}, err
+		return core.Result{}, false, err
 	}
 	h := solveHooks{progress: j.addPoint}
 	if s.testIterHook != nil {
 		h.progress = func(iter int, rel float64) {
 			j.addPoint(iter, rel)
 			s.testIterHook(j, iter)
+		}
+	}
+	// The breaker gate comes before the fault seam: an open circuit
+	// refuses the attempt without touching the (injectable) backend, so
+	// fallback jobs keep completing while the backend stays broken.
+	if !s.breaker.allow(spec.Backend) {
+		if spec.AllowFallback {
+			res, err := s.runFallback(ctx, p, o, h)
+			return res, true, err
+		}
+		return core.Result{}, false, errBreakerOpen
+	}
+	if s.injectFault != nil {
+		if err := s.injectFault(spec, attempt); err != nil {
+			return core.Result{}, false, err
 		}
 	}
 	if o.Backend == core.Wafer && s.spool.enabled() {
@@ -360,7 +614,8 @@ func (s *Server) solveAttempt(j *job, spec JobSpec, attempt int) (core.Result, e
 		}
 		h.resume = s.spool.readCkpt(j.id)
 	}
-	return s.runSolve(p, o, h)
+	res, err = s.runSolve(ctx, p, o, h)
+	return res, false, err
 }
 
 func (s *Server) getJob(id string) *job {
@@ -371,18 +626,20 @@ func (s *Server) getJob(id string) *job {
 
 // Handler returns the HTTP API:
 //
-//	POST /v1/jobs               submit a JobSpec, 202 + job view
-//	GET  /v1/jobs               list jobs (submission order)
-//	GET  /v1/jobs/{id}          job status + live progress
-//	GET  /v1/jobs/{id}/solution finished job's result incl. solution
-//	GET  /v1/jobs/{id}/stream   NDJSON residual stream, ends on terminal state
-//	GET  /metrics               Prometheus text metrics
-//	GET  /healthz               liveness
+//	POST   /v1/jobs               submit a JobSpec, 202 + job view
+//	GET    /v1/jobs               list jobs (submission order)
+//	GET    /v1/jobs/{id}          job status + live progress
+//	DELETE /v1/jobs/{id}          cancel a job (409 once terminal)
+//	GET    /v1/jobs/{id}/solution finished job's result incl. solution
+//	GET    /v1/jobs/{id}/stream   NDJSON residual stream, ends on terminal state
+//	GET    /metrics               Prometheus text metrics
+//	GET    /healthz               liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/solution", s.handleSolution)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -401,10 +658,17 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("service: job spec exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad job spec: %w", err))
 		return
 	}
@@ -416,6 +680,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:
 		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	v, err := s.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, v)
+	case errors.Is(err, errNoSuchJob):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, errJobTerminal):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
 	}
 }
 
@@ -432,7 +710,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j := s.getJob(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("service: no such job"))
+		writeError(w, http.StatusNotFound, errNoSuchJob)
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view(false))
@@ -441,7 +719,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSolution(w http.ResponseWriter, r *http.Request) {
 	j := s.getJob(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("service: no such job"))
+		writeError(w, http.StatusNotFound, errNoSuchJob)
 		return
 	}
 	v := j.view(true)
@@ -459,7 +737,7 @@ func (s *Server) handleSolution(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j := s.getJob(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("service: no such job"))
+		writeError(w, http.StatusNotFound, errNoSuchJob)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")

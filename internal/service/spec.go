@@ -36,6 +36,21 @@ type JobSpec struct {
 	// Tol is the relative-residual stop; 0 runs MaxIter iterations.
 	Tol float64 `json:"tol,omitempty"`
 
+	// TimeoutMS bounds the job's total lifetime in milliseconds,
+	// measured from submission (so it survives daemon restarts): a job
+	// whose deadline passes — queued or mid-solve — lands in the
+	// terminal "expired" state. 0 means the server's default TTL, or no
+	// deadline if none is configured.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// AllowFallback permits the service to solve this job on the host
+	// in chunked-mixed precision when the simulated backend's circuit
+	// breaker is open. For the multiwafer backend the fallback is
+	// bit-identical to the simulated solve (the cross-backend
+	// determinism contract); for the single-wafer FIFO engine it is
+	// deterministic and equally accurate but may differ in last-place
+	// bits. Wafer and multiwafer backends only.
+	AllowFallback bool `json:"allow_fallback,omitempty"`
+
 	// Precision is the local backend's arithmetic ("fp64", "fp32",
 	// "mixed"); rejected on any other backend.
 	Precision string `json:"precision,omitempty"`
@@ -112,6 +127,12 @@ func (s JobSpec) Options() (core.Options, error) {
 	}
 	if s.Grid != "" && be != core.MultiWafer {
 		return core.Options{}, &SpecError{"grid", "a wafer grid applies to the multiwafer backend only"}
+	}
+	if s.TimeoutMS < 0 {
+		return core.Options{}, &SpecError{"timeout_ms", fmt.Sprintf("must be non-negative, got %d", s.TimeoutMS)}
+	}
+	if s.AllowFallback && be != core.Wafer && be != core.MultiWafer {
+		return core.Options{}, &SpecError{"allow_fallback", "host fallback applies to the wafer and multiwafer backends only"}
 	}
 	if be == core.Wafer || be == core.MultiWafer {
 		if s.NZ%2 != 0 {

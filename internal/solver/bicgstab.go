@@ -1,6 +1,7 @@
 package solver
 
 import (
+	stdctx "context"
 	"errors"
 	"fmt"
 	"math"
@@ -8,6 +9,13 @@ import (
 
 // Options controls a Krylov solve.
 type Options struct {
+	// Ctx, if non-nil, is polled at iteration boundaries for cooperative
+	// cancellation. A canceled solve returns an error wrapping
+	// Ctx.Err(), so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) distinguish cancels from
+	// deadline expiries. (The field is not named Context because that
+	// name is taken by the arithmetic Context interface.)
+	Ctx stdctx.Context
 	// MaxIter bounds the number of iterations; 0 means 1000.
 	MaxIter int
 	// Tol is the convergence threshold on the iterative relative residual
@@ -36,6 +44,20 @@ func (o Options) maxIter() int {
 		return 1000
 	}
 	return o.MaxIter
+}
+
+// CtxErr returns a wrapped context error when the solve's context is
+// done, or nil. Every backend polls it at iteration boundaries — the
+// only points where a simulated machine is guaranteed idle, so a
+// canceled solve always leaves its substrate in a reusable state.
+func (o Options) CtxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	if err := o.Ctx.Err(); err != nil {
+		return fmt.Errorf("solver: solve canceled: %w", err)
+	}
+	return nil
 }
 
 // CheckpointRequested reports whether any of the checkpoint/resume
@@ -124,6 +146,9 @@ func BiCGStab(ctx Context, a Operator, b, x Vector, opts Options) (Stats, error)
 	}
 
 	for it := 0; it < opts.maxIter(); it++ {
+		if err := opts.CtxErr(); err != nil {
+			return st, err
+		}
 		st.Iterations = it + 1
 
 		// s_i := A p_i  (line 4)
@@ -224,6 +249,9 @@ func CG(ctx Context, a Operator, b, x Vector, opts Options) (Stats, error) {
 
 	st := Stats{}
 	for it := 0; it < opts.maxIter(); it++ {
+		if err := opts.CtxErr(); err != nil {
+			return st, err
+		}
 		st.Iterations = it + 1
 		c.SetKind(KindMatvec)
 		a.Apply(ap, p)

@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Chaos smoke of the wsesimd daemon (CI runs this; it also works
+# locally): cancel a running job over DELETE, expire a job on its
+# timeout_ms deadline, kill -9 the daemon mid-solve and verify the
+# restarted daemon re-runs the job to a result identical to an
+# uninterrupted reference, quarantine a corrupt spool record, survive
+# injected spool-write faults, and drive the cancel mix with ssbench.
+# Needs only curl + grep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+addr=127.0.0.1:18932
+base="http://$addr"
+spool=$(mktemp -d)
+log=$(mktemp)
+bin=$(mktemp -d)/wsesimd
+pid=""
+
+cleanup() {
+  if [ -n "$pid" ]; then
+    kill -9 "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  fi
+  rm -rf "$spool" "$log" "$(dirname "$bin")"
+}
+trap cleanup EXIT
+
+fail() { echo "chaos_smoke: FAIL: $*" >&2; echo "--- daemon log ---" >&2; cat "$log" >&2; exit 1; }
+
+wait_ready() {
+  for _ in $(seq 1 100); do
+    curl -sf "$base/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  fail "daemon never became ready"
+}
+
+start_daemon() {
+  "$bin" -addr "$addr" -spool "$spool" -workers 2 "$@" >>"$log" 2>&1 &
+  pid=$!
+  wait_ready
+}
+
+submit() { # submit <json-spec> -> job id
+  curl -sf "$base/v1/jobs" -d "$1" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4
+}
+
+job_state() { curl -sf "$base/v1/jobs/$1" | grep -o '"state":"[^"]*"' | cut -d'"' -f4; }
+
+wait_state() { # wait_state <id> <state> [tries]
+  local st=""
+  for _ in $(seq 1 "${3:-600}"); do
+    st=$(job_state "$1")
+    [ "$st" = "$2" ] && return 0
+    case "$st" in failed) fail "job $1 failed waiting for $2";; esac
+    sleep 0.1
+  done
+  fail "job $1 stuck in state $st, want $2"
+}
+
+metric() { curl -sf "$base/metrics" | grep -F "$1" | grep -v '^#' | head -1 | awk '{print $NF}'; }
+
+go build -o "$bin" ./cmd/wsesimd
+longspec='{"problem":"momentum","nx":8,"ny":8,"nz":32,"max_iter":100}'
+
+start_daemon
+
+# --- 1. uninterrupted reference solve -------------------------------
+ref=$(submit "$longspec")
+[ -n "$ref" ] || fail "reference submit returned no id"
+wait_state "$ref" done
+refsol=$(mktemp)
+curl -sf "$base/v1/jobs/$ref/solution" >"$refsol" || fail "reference solution fetch failed"
+
+# --- 2. cancel a running job over DELETE ----------------------------
+vic=$(submit "$longspec")
+[ -n "$vic" ] || fail "cancel-victim submit returned no id"
+for _ in $(seq 1 200); do
+  iter=$(curl -sf "$base/v1/jobs/$vic" | grep -o '"iter":[0-9]*' | cut -d: -f2)
+  [ "${iter:-0}" -ge 1 ] && break
+  sleep 0.05
+done
+[ "${iter:-0}" -ge 1 ] || fail "cancel victim never started iterating"
+curl -sf -X DELETE "$base/v1/jobs/$vic" >/dev/null || fail "DELETE failed"
+wait_state "$vic" canceled 100
+[ "$(metric 'wsesimd_jobs_canceled_total{backend="wafer"}')" -ge 1 ] \
+  || fail "canceled job not counted in /metrics"
+# Canceling a terminal job conflicts.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "$base/v1/jobs/$vic")
+[ "$code" = 409 ] || fail "second DELETE returned $code, want 409"
+
+# --- 3. deadline expiry (distinct terminal state) -------------------
+exp=$(submit '{"problem":"momentum","nx":8,"ny":8,"nz":32,"max_iter":100,"timeout_ms":1}')
+[ -n "$exp" ] || fail "deadline-job submit returned no id"
+wait_state "$exp" expired 200
+[ "$(metric 'wsesimd_jobs_expired_total{backend="wafer"}')" -ge 1 ] \
+  || fail "expired job not counted in /metrics"
+
+# --- 4. kill -9 mid-solve → restart re-runs bit-identically ---------
+big=$(submit "$longspec")
+[ -n "$big" ] || fail "kill-victim submit returned no id"
+for _ in $(seq 1 200); do
+  iter=$(curl -sf "$base/v1/jobs/$big" | grep -o '"iter":[0-9]*' | cut -d: -f2)
+  [ "${iter:-0}" -ge 1 ] && break
+  sleep 0.05
+done
+[ "${iter:-0}" -ge 1 ] || fail "kill victim never started iterating"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+grep -q '"state":"running"' "$spool/$big.json" \
+  || fail "kill victim not recorded running in spool: $(cat "$spool/$big.json")"
+
+start_daemon
+wait_state "$big" done
+bigsol=$(mktemp)
+curl -sf "$base/v1/jobs/$big/solution" >"$bigsol" || fail "re-run solution fetch failed"
+refres=$(grep -o '"result":.*' "$refsol") || fail "reference solution has no result"
+bigres=$(grep -o '"result":.*' "$bigsol") || fail "re-run solution has no result"
+[ "$refres" = "$bigres" ] || fail "re-run result differs from uninterrupted reference"
+rm -f "$refsol" "$bigsol"
+
+# --- 5. corrupt spool record is quarantined, not fatal --------------
+kill -TERM "$pid"; wait "$pid" || fail "daemon exited non-zero on SIGTERM"
+pid=""
+printf '{"id":"j9' >"$spool/j999999.json"
+start_daemon
+[ -f "$spool/quarantine/j999999.json" ] || fail "corrupt record not moved to quarantine"
+[ "$(metric 'wsesimd_spool_quarantined_total')" -ge 1 ] \
+  || fail "quarantine not counted in /metrics"
+grep -q 'quarantined j999999.json' "$log" || fail "quarantine not logged"
+
+# --- 6. injected spool-write faults degrade, never kill -------------
+kill -TERM "$pid"; wait "$pid" || fail "daemon exited non-zero on SIGTERM"
+pid=""
+# Let the submission write through, then fault a mid-run state write.
+start_daemon -inject-spool-faults 'write:.json:2:1:enospc'
+fj=$(submit '{"problem":"momentum","nx":4,"ny":4,"nz":8,"max_iter":4}')
+[ -n "$fj" ] || fail "submit under fault injection returned no id"
+wait_state "$fj" done 100
+curl -sf "$base/healthz" | grep -q '"status":"ok"' || fail "daemon unhealthy after injected fault"
+
+# --- 7. ssbench cancel mix ------------------------------------------
+bench=$(go run ./cmd/ssbench -addr "$base" -mix mixed -cancel-frac 0.4 -ops 12 -c 3) \
+  || fail "ssbench cancel mix failed: $bench"
+echo "$bench" | grep -q 'cancels' || fail "ssbench output has no cancels line: $bench"
+
+echo "chaos_smoke: PASS"

@@ -66,6 +66,18 @@ for _ in $(seq 1 100); do
 done
 [ "${hits:-0}" -ge 1 ] || fail "no machine-cache hit after a same-shape job (hits=$hits)"
 
+# The resilience counter families must be exported from first use of a
+# backend (zero-valued until exercised; scripts/chaos_smoke.sh drives
+# them up).
+metrics=$(curl -sf "$base/metrics")
+for fam in wsesimd_spool_quarantined_total \
+  'wsesimd_jobs_canceled_total{backend="wafer"}' \
+  'wsesimd_jobs_expired_total{backend="wafer"}' \
+  'wsesimd_breaker_trips_total{backend="wafer"}' \
+  'wsesimd_fallback_solves_total{backend="wafer"}'; do
+  echo "$metrics" | grep -qF "$fam" || fail "/metrics missing family $fam"
+done
+
 # --- 2. SIGTERM mid-solve → suspended checkpoint → restart resumes ---
 # First run the same spec uninterrupted as a reference: the resumed job
 # must reproduce its solution byte for byte (jobs are deterministic, so
@@ -117,8 +129,9 @@ rm -f "$refsol" "$bigsol"
 [ -e "$spool/$big.ckpt" ] && fail "checkpoint blob not removed after completion"
 
 # --- 3. ssbench drives the daemon -----------------------------------
-go run ./cmd/ssbench -addr "$base" -mix mixed -ops 12 -c 3 | grep -q 'ops/s' \
-  || fail "ssbench produced no throughput line"
+bench=$(go run ./cmd/ssbench -addr "$base" -mix mixed -ops 12 -c 3) \
+  || fail "ssbench failed: $bench"
+echo "$bench" | grep -q 'ops/s' || fail "ssbench produced no throughput line: $bench"
 
 # --- 4. malformed requests bounce, correctly typed ------------------
 [ "$(status_code "$base/v1/jobs" -d '{"nx":4,"ny":4,"nz":8,"backend":"gpu"}')" = 400 ] || fail "bad backend not 400"
