@@ -26,6 +26,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/solver"
 	"repro/internal/stencil"
+	"repro/internal/stencilc"
 	"repro/internal/wse"
 )
 
@@ -187,6 +188,104 @@ func BenchmarkSpMV2DMachine(b *testing.B) {
 				b.ReportMetric(float64(cycles), "sim-cycles/application")
 			})
 		}
+	}
+}
+
+// BenchmarkStencilApply measures one application of the stencil
+// compiler's programs under cycle simulation: the 25-point width-4
+// seismic operator (the multi-round halo relay), the 7-point heat step
+// with its Σu² reduction (the paper's width-1 halo pipeline), and the
+// 2D 5-point heat step on the block-halo mapping. Each iteration is one
+// Program Run on a warm machine; the simulated cycle count rides along
+// as a metric (it is separately pinned, exactly, against
+// perfmodel.StencilApply3D/2D). Sub-names are kernel/engine — the
+// bench-regression gate keys on them (no trailing -<digits>; see
+// benchMachineStep).
+func BenchmarkStencilApply(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	m := stencil.Mesh{NX: 4, NY: 4, NZ: 16}
+	src := make([]fp16.Float16, m.N())
+	for i := range src {
+		src[i] = fp16.FromFloat64(rng.Float64()*2 - 1)
+	}
+	for _, tc := range []struct {
+		name string
+		spec stencilc.Spec
+		op   *stencil.OpStar
+	}{
+		{"seismic25", stencilc.SpecSeismic25(), stencil.Seismic25(m, 0.08)},
+		{"heat", stencilc.SpecHeat3D(), stencil.Heat3D(m, 0.2, stencil.Dirichlet)},
+	} {
+		norm, _ := tc.op.Normalize()
+		half := stencil.NewOpStarHalf(norm)
+		for _, workers := range []int{0, 8} {
+			name := "seq"
+			if workers > 1 {
+				name = "sharded"
+			}
+			b.Run(tc.name+"/"+name, func(b *testing.B) {
+				cfg := wse.CS1(m.NX, m.NY)
+				cfg.Workers = workers
+				mach := wse.New(cfg)
+				defer mach.Close()
+				p, err := stencilc.Compile3D(mach, tc.spec, half, 0, 0, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var cycles int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for t := 0; t < p.Tiles(); t++ {
+						gx, gy := p.GlobalCoord(t)
+						col := p.Iterate(t)
+						for z := 0; z < m.NZ; z++ {
+							col[z] = src[m.Index(gx, gy, z)]
+						}
+					}
+					c, err := p.Run(1 << 22)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = c
+				}
+				b.ReportMetric(float64(cycles), "sim-cycles/application")
+			})
+		}
+	}
+
+	const blk = 4
+	m2 := stencil.Mesh2D{NX: 4 * blk, NY: 4 * blk}
+	op9, _ := stencil.Heat2D(m2, 0.2).Normalize9()
+	src2 := make([]fp16.Float16, m2.N())
+	for i := range src2 {
+		src2[i] = fp16.FromFloat64(rng.Float64()*2 - 1)
+	}
+	for _, workers := range []int{0, 8} {
+		name := "seq"
+		if workers > 1 {
+			name = "sharded"
+		}
+		b.Run("heat2d/"+name, func(b *testing.B) {
+			cfg := wse.CS1(m2.NX/blk, m2.NY/blk)
+			cfg.Workers = workers
+			mach := wse.New(cfg)
+			defer mach.Close()
+			p, err := stencilc.Compile2D(mach, stencilc.SpecHeat2D(), op9, blk, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cycles int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.LoadVector(src2)
+				c, err := p.Run(1 << 22)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = c
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles/application")
+		})
 	}
 }
 

@@ -69,9 +69,9 @@ func (s *BiCGStab2DWSE) Solve(bvec []fp16.Float16, opts WSEOptions) ([]fp16.Floa
 func (s *BiCGStab2DWSE) runSpMV(src, dst []int, acc *int64) error {
 	b := s.B
 	for i, t := range s.M.Tiles {
-		st := s.spmv.tiles[i]
+		off := s.spmv.prog.IterateOff(i)
 		for e := 0; e < b*b; e++ {
-			t.Arena.Set(st.offV+e, t.Arena.At(src[i]+e))
+			t.Arena.Set(off+e, t.Arena.At(src[i]+e))
 		}
 	}
 	cycles, err := s.spmv.Run(int64(b*b)*1000 + 100000)
@@ -80,9 +80,8 @@ func (s *BiCGStab2DWSE) runSpMV(src, dst []int, acc *int64) error {
 	}
 	*acc += cycles
 	for i, t := range s.M.Tiles {
-		st := s.spmv.tiles[i]
 		for e := 0; e < b*b; e++ {
-			t.Arena.Set(dst[i]+e, t.Arena.At(st.offE+(e%b+1)+(e/b+1)*(b+2)))
+			t.Arena.Set(dst[i]+e, t.Arena.At(s.spmv.prog.InteriorIndex(i, e)))
 		}
 	}
 	return nil
@@ -113,6 +112,8 @@ type Wafer2DBackend struct {
 	Solves     int
 	Iterations int
 	Cycles     PhaseCycles
+	// LastStats is the raw wafer statistics of the most recent solve.
+	LastStats WSEStats
 }
 
 // NewWafer2DBackend wraps mach as a 2D solve backend with b×b blocks.
@@ -174,6 +175,7 @@ func (w *Wafer2DBackend) Solve2D(op *stencil.Op9, b, x0 []float64, opts solver.O
 	w.Cycles.Dot += st.Cycles.Dot
 	w.Cycles.AllReduce += st.Cycles.AllReduce
 	w.Cycles.Axpy += st.Cycles.Axpy
+	w.LastStats = st
 
 	out := make([]float64, len(x16))
 	for i, v := range x16 {

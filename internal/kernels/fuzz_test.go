@@ -44,9 +44,7 @@ func FuzzSpMV2DEquivalence(f *testing.F) {
 				t.Fatal(err)
 			}
 			prog.LoadVector(src)
-			for _, st := range prog.tiles {
-				prog.armTile(st)
-			}
+			prog.Arm()
 			return mach, prog
 		}
 		mseq, pseq := build(1)

@@ -1,76 +1,36 @@
 package kernels
 
 import (
-	"fmt"
-
 	"repro/internal/fabric"
 	"repro/internal/fp16"
 	"repro/internal/stencil"
-	"repro/internal/tensor"
+	"repro/internal/stencilc"
 	"repro/internal/wse"
 )
 
 // NumStencil2DColors is the number of virtual channels the 2D block-halo
 // exchange needs: one per direction of travel. Every link is a single
 // hop, so — unlike the 3D tessellation — four colors suffice for the
-// whole fabric.
-const NumStencil2DColors = 4
-
-// Directional exchange colors, offsets from the program's base color.
-// The name is the direction a word travels: a tile receives colEast
-// words from its west neighbour, and so on.
-const (
-	colEast = iota
-	colWest
-	colSouth
-	colNorth
-)
+// whole fabric. It is the stencil compiler's directional color count;
+// the invariants live there (stencilc.ExchangeColorsDistinct).
+const NumStencil2DColors = stencilc.NumExchangeColors
 
 // SpMV2DMachine is the wafer-resident rendering of the paper's §IV-2 2D
-// block-halo mapping (the dataflow SpMV2D renders functionally): each
-// tile owns a b×b block of the mesh and all nine coefficient diagonals
-// for it, computes the nine products of one application into an output
-// region extended by a one-point halo, and exchanges output halos with
-// its four neighbours over fabric streams in two rounds — first the ±x
-// columns of height b+2, then the ±y rows of width b, folding corner
-// contributions through the x round so no diagonal communication is
-// needed.
-//
-// Per tile the program is: a "local" task of nine block FMAC
-// instructions (scatter form, one per diagonal), whose completion
-// launches the x-round threads (two halo-column sends, two stream adds
-// from the neighbour streams); their completion launches the y-round
-// threads (two halo-row sends, two stream adds); the y round completes
-// the application. All scheduling is tile-local — cross-tile signalling
-// happens only through the fabric — so the program is bit-identical
-// under the sequential and sharded engines, and bit-identical to the
-// functional SpMV2D.Apply (same rounding order everywhere; the
-// equivalence tests assert both).
+// block-halo mapping (the dataflow SpMV2D renders functionally): the
+// 9-point box spec compiled by the stencil compiler. Each tile owns a
+// b×b block of the mesh and all nine coefficient diagonals for it,
+// computes the nine products of one application into an output region
+// extended by a one-point halo, and exchanges output halos with its four
+// neighbours over fabric streams in two rounds — see stencilc.Program2D
+// for the schedule. The golden tests pin this wrapper bit-identical —
+// results, cycles, machine fingerprint — to the hand-written generator
+// it replaced.
 type SpMV2DMachine struct {
 	M    *wse.Machine
 	Mesh stencil.Mesh2D
 	B    int // block edge (even, ≥ 2)
 
-	base  fabric.Color
-	tiles []*spmv2dTile
-}
-
-type spmv2dTile struct {
-	tile *wse.Tile
-	x, y int // tile coordinate
-
-	offC [9]int // coefficient blocks, b² each, block row-major
-	offV int    // iterate block, b²
-	offE int    // extended output region, (b+2)², cell (i,j) at (i+1)+(j+1)(b+2)
-
-	// Neighbour streams, indexed by the direction the words travel:
-	// from[colEast] carries the west neighbour's eastbound halo, etc.
-	from [4]*wse.StreamBuf
-
-	localTask *wse.Task
-
-	xLeft, yLeft int // outstanding x- and y-round threads
-	done         bool
+	prog *stencilc.Program2D
 }
 
 // NewSpMV2DMachine builds the program for the normalized 9-point
@@ -87,349 +47,37 @@ func NewSpMV2DMachine(mach *wse.Machine, op *stencil.Op9, b int) (*SpMV2DMachine
 // color, for composition with other kernels (the 2D BiCGStab driver
 // places its AllReduce colors after these four).
 func NewSpMV2DMachineColors(mach *wse.Machine, op *stencil.Op9, b int, base fabric.Color) (*SpMV2DMachine, error) {
-	m := op.M
-	if b < 2 || b%2 != 0 {
-		return nil, fmt.Errorf("kernels: 2D block edge %d must be even and >= 2", b)
+	prog, err := stencilc.Compile2D(mach, stencilc.Spec9Point(), op, b, base)
+	if err != nil {
+		return nil, err
 	}
-	if m.NX != b*mach.Cfg.FabricW || m.NY != b*mach.Cfg.FabricH {
-		return nil, fmt.Errorf("kernels: mesh %dx%d does not tile fabric %dx%d with %d×%d blocks",
-			m.NX, m.NY, mach.Cfg.FabricW, mach.Cfg.FabricH, b, b)
-	}
-	if int(base)+NumStencil2DColors > fabric.MaxColors {
-		return nil, fmt.Errorf("kernels: 2D exchange needs %d colors starting at %d", NumStencil2DColors, base)
-	}
-	p := &SpMV2DMachine{M: mach, Mesh: m, B: b, base: base}
-
-	// Static routing: four single-hop directional streams. A word a tile
-	// injects on colEast crosses one link east and rides the neighbour's
-	// ramp; symmetrically for the other directions.
-	w, h := mach.Cfg.FabricW, mach.Cfg.FabricH
-	f := mach.Fab
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			at := fabric.Coord{X: x, Y: y}
-			if x < w-1 {
-				f.SetRoute(at, fabric.Ramp, base+colEast, fabric.Mask(fabric.East))
-				f.SetRoute(fabric.Coord{X: x + 1, Y: y}, fabric.West, base+colEast, fabric.Mask(fabric.Ramp))
-			}
-			if x > 0 {
-				f.SetRoute(at, fabric.Ramp, base+colWest, fabric.Mask(fabric.West))
-				f.SetRoute(fabric.Coord{X: x - 1, Y: y}, fabric.East, base+colWest, fabric.Mask(fabric.Ramp))
-			}
-			if y < h-1 {
-				f.SetRoute(at, fabric.Ramp, base+colSouth, fabric.Mask(fabric.South))
-				f.SetRoute(fabric.Coord{X: x, Y: y + 1}, fabric.North, base+colSouth, fabric.Mask(fabric.Ramp))
-			}
-			if y > 0 {
-				f.SetRoute(at, fabric.Ramp, base+colNorth, fabric.Mask(fabric.North))
-				f.SetRoute(fabric.Coord{X: x, Y: y - 1}, fabric.South, base+colNorth, fabric.Mask(fabric.Ramp))
-			}
-		}
-	}
-
-	// Per-tile memory, stream subscriptions, tasks.
-	p.tiles = make([]*spmv2dTile, w*h)
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			tl := mach.TileAt(fabric.Coord{X: x, Y: y})
-			st := &spmv2dTile{tile: tl, x: x, y: y}
-			a := tl.Arena
-			var err error
-			alloc := func(name string, n int) int {
-				if err != nil {
-					return 0
-				}
-				var off int
-				off, err = a.Alloc(name, n)
-				return off
-			}
-			for k := range st.offC {
-				st.offC[k] = alloc(fmt.Sprintf("c%d", k), b*b)
-			}
-			st.offV = alloc("v", b*b)
-			st.offE = alloc("ext", (b+2)*(b+2))
-			if err != nil {
-				return nil, fmt.Errorf("kernels: tile (%d,%d): %v", x, y, err)
-			}
-
-			sub := func(dir int, has bool) {
-				if has {
-					st.from[dir] = wse.NewStreamBuf(4)
-					tl.Core.Subscribe(base+fabric.Color(dir), st.from[dir])
-				}
-			}
-			sub(colEast, x > 0) // west neighbour's eastbound words
-			sub(colWest, x < w-1)
-			sub(colSouth, y > 0)
-			sub(colNorth, y < h-1)
-
-			st.localTask = tl.Core.AddTask(&wse.Task{Name: "spmv2d"})
-			st.localTask.OnComplete = func(c *wse.Core) { p.launchX(st) }
-			p.tiles[y*w+x] = st
-		}
-	}
-	p.LoadCoeff(op)
-	return p, nil
+	return &SpMV2DMachine{M: mach, Mesh: op.M, B: b, prog: prog}, nil
 }
 
 // LoadCoeff (re)loads the nine coefficient diagonals. The solver calls
 // this between SIMPLE iterations when the operator changes; routing,
 // memory layout and task structure are reused. The operator must have a
 // unit centre coefficient and live on the same mesh.
-func (p *SpMV2DMachine) LoadCoeff(op *stencil.Op9) {
-	m := p.Mesh
-	if op.M != m {
-		panic(fmt.Sprintf("kernels: operator mesh %v does not match program mesh %v", op.M, m))
-	}
-	b := p.B
-	for _, st := range p.tiles {
-		a := st.tile.Arena
-		for j := 0; j < b; j++ {
-			for i := 0; i < b; i++ {
-				gx, gy := st.x*b+i, st.y*b+j
-				for k, off := range stencil.Off9 {
-					// Scatter form: source cell S contributes
-					// C[k][P]·v[S] to P = S − off_k; the tile stores the
-					// coefficient sampled at P, zero beyond the mesh
-					// (Dirichlet truncation; a zero product is a bitwise
-					// no-op on the accumulator).
-					px, py := gx-off[0], gy-off[1]
-					v := fp16.Zero
-					if m.In(px, py) {
-						if k == 4 && op.C[4][m.Index(px, py)] != 1 {
-							panic("kernels: 2D SpMV requires a unit centre coefficient")
-						}
-						v = fp16.FromFloat64(op.C[k][m.Index(px, py)])
-					}
-					a.Set(st.offC[k]+j*b+i, v)
-				}
-			}
-		}
-	}
-}
-
-// extCol returns the descriptor of extended-output column i ∈ [-1, b]
-// (b+2 elements, rows j = -1..b).
-func (p *SpMV2DMachine) extCol(st *spmv2dTile, i int) tensor.Descriptor {
-	return tensor.Strided(st.offE+i+1, p.B+2, p.B+2)
-}
-
-// extRow returns the descriptor of extended-output row j ∈ [-1, b]
-// restricted to the block columns i = 0..b-1 (b elements) — the y-round
-// halo shape; corner cells travelled with the x round.
-func (p *SpMV2DMachine) extRow(st *spmv2dTile, j int) tensor.Descriptor {
-	return tensor.Strided(st.offE+1+(j+1)*(p.B+2), p.B, 1)
-}
-
-// armTile prepares one application: zeroes the extended output
-// (descriptor re-aliasing, free as in the 3D kernel's armTile), wires
-// the nine scatter instructions with fresh descriptors, and activates
-// the local task.
-func (p *SpMV2DMachine) armTile(st *spmv2dTile) {
-	b := p.B
-	a := st.tile.Arena
-	for i := 0; i < (b+2)*(b+2); i++ {
-		a.Set(st.offE+i, fp16.Zero)
-	}
-
-	instrs := make([]wse.Instr, 9)
-	for k, off := range stencil.Off9 {
-		dx, dy := -off[0], -off[1]
-		instrs[k] = &wse.MemOp{
-			Kind:  wse.OpMulAcc,
-			Arena: a,
-			Dst:   tensor.Mat2D(st.offE+(1+dx)+(1+dy)*(b+2), b, b, b+2),
-			A:     tensor.Vec1D(st.offV, b*b),
-			B:     tensor.Vec1D(st.offC[k], b*b),
-		}
-	}
-	st.localTask.Instrs = instrs
-	st.done = false
-	st.xLeft, st.yLeft = 0, 0
-	st.tile.Core.Activate(st.localTask)
-}
-
-// launchX starts the ±x exchange round: send the two halo columns
-// (height b+2) toward the existing neighbours and accumulate the
-// neighbours' incoming columns into the block's edge columns. Runs from
-// the local task's OnComplete, on the owning core.
-func (p *SpMV2DMachine) launchX(st *spmv2dTile) {
-	core := st.tile.Core
-	a := st.tile.Arena
-	b := p.B
-	w := p.M.Cfg.FabricW
-
-	type tx struct {
-		col fabric.Color
-		src tensor.Descriptor
-		has bool
-	}
-	sends := []tx{
-		{p.base + colWest, p.extCol(st, -1), st.x > 0},
-		{p.base + colEast, p.extCol(st, b), st.x < w-1},
-	}
-	type rx struct {
-		buf *wse.StreamBuf
-		acc tensor.Descriptor
-	}
-	recvs := []rx{
-		{st.from[colEast], p.extCol(st, 0)},   // west neighbour's column folds into i=0
-		{st.from[colWest], p.extCol(st, b-1)}, // east neighbour's into i=b-1
-	}
-
-	for _, s := range sends {
-		if s.has {
-			st.xLeft++
-		}
-	}
-	for _, r := range recvs {
-		if r.buf != nil {
-			st.xLeft++
-		}
-	}
-	if st.xLeft == 0 {
-		p.launchY(st)
-		return
-	}
-	onDone := func(c *wse.Core) {
-		st.xLeft--
-		if st.xLeft == 0 {
-			p.launchY(st)
-		}
-	}
-	slot := 0
-	for _, s := range sends {
-		if s.has {
-			core.LaunchThread(slot, "xh_tx", &wse.SendMem{
-				Color: s.col, Src: s.src, Arena: a, Total: b + 2,
-			}, onDone)
-			slot++
-		}
-	}
-	for _, r := range recvs {
-		if r.buf != nil {
-			core.LaunchThread(slot, "xh_rx", &wse.StreamAdd{
-				Src: wse.StreamSource{B: r.buf}, Acc: r.acc, Arena: a, Total: b + 2,
-			}, onDone)
-			slot++
-		}
-	}
-}
-
-// launchY starts the ±y round (rows of width b, corners already folded
-// by the x round), whose completion finishes the application.
-func (p *SpMV2DMachine) launchY(st *spmv2dTile) {
-	core := st.tile.Core
-	a := st.tile.Arena
-	b := p.B
-	h := p.M.Cfg.FabricH
-
-	type tx struct {
-		col fabric.Color
-		src tensor.Descriptor
-		has bool
-	}
-	sends := []tx{
-		{p.base + colNorth, p.extRow(st, -1), st.y > 0},
-		{p.base + colSouth, p.extRow(st, b), st.y < h-1},
-	}
-	type rx struct {
-		buf *wse.StreamBuf
-		acc tensor.Descriptor
-	}
-	recvs := []rx{
-		{st.from[colSouth], p.extRow(st, 0)},   // north neighbour's row folds into j=0
-		{st.from[colNorth], p.extRow(st, b-1)}, // south neighbour's into j=b-1
-	}
-
-	for _, s := range sends {
-		if s.has {
-			st.yLeft++
-		}
-	}
-	for _, r := range recvs {
-		if r.buf != nil {
-			st.yLeft++
-		}
-	}
-	if st.yLeft == 0 {
-		st.done = true
-		return
-	}
-	onDone := func(c *wse.Core) {
-		st.yLeft--
-		if st.yLeft == 0 {
-			st.done = true
-		}
-	}
-	slot := 0
-	for _, s := range sends {
-		if s.has {
-			core.LaunchThread(slot, "yh_tx", &wse.SendMem{
-				Color: s.col, Src: s.src, Arena: a, Total: b,
-			}, onDone)
-			slot++
-		}
-	}
-	for _, r := range recvs {
-		if r.buf != nil {
-			core.LaunchThread(slot, "yh_rx", &wse.StreamAdd{
-				Src: wse.StreamSource{B: r.buf}, Acc: r.acc, Arena: a, Total: b,
-			}, onDone)
-			slot++
-		}
-	}
-}
+func (p *SpMV2DMachine) LoadCoeff(op *stencil.Op9) { p.prog.LoadCoeff(op) }
 
 // LoadVector scatters the global iterate v (mesh row-major) into the
 // tiles' block-local iterate storage.
-func (p *SpMV2DMachine) LoadVector(v []fp16.Float16) {
-	b := p.B
-	for _, st := range p.tiles {
-		a := st.tile.Arena
-		for j := 0; j < b; j++ {
-			for i := 0; i < b; i++ {
-				a.Set(st.offV+j*b+i, v[p.Mesh.Index(st.x*b+i, st.y*b+j)])
-			}
-		}
-	}
-}
+func (p *SpMV2DMachine) LoadVector(v []fp16.Float16) { p.prog.LoadVector(v) }
 
 // Result gathers the block interiors into a global mesh-indexed vector.
-func (p *SpMV2DMachine) Result() []fp16.Float16 {
-	b := p.B
-	out := make([]fp16.Float16, p.Mesh.N())
-	for _, st := range p.tiles {
-		a := st.tile.Arena
-		for j := 0; j < b; j++ {
-			for i := 0; i < b; i++ {
-				out[p.Mesh.Index(st.x*b+i, st.y*b+j)] = a.At(st.offE + (i + 1) + (j+1)*(b+2))
-			}
-		}
-	}
-	return out
-}
+func (p *SpMV2DMachine) Result() []fp16.Float16 { return p.prog.Result() }
+
+// Arm prepares every tile for one application without stepping the
+// machine — for lock-step engine-equivalence tests that drive Step
+// themselves. Run calls it implicitly.
+func (p *SpMV2DMachine) Arm() { p.prog.Arm() }
 
 // Run executes one SpMV application under cycle simulation and returns
 // the cycles it took: every tile's local task, x round and y round have
 // completed and all halo streams are fully drained.
-func (p *SpMV2DMachine) Run(maxCycles int64) (int64, error) {
-	for _, st := range p.tiles {
-		p.armTile(st)
-	}
-	return p.M.RunUntil(func() bool {
-		for _, st := range p.tiles {
-			if !st.done {
-				return false
-			}
-		}
-		return true
-	}, maxCycles)
-}
+func (p *SpMV2DMachine) Run(maxCycles int64) (int64, error) { return p.prog.Run(maxCycles) }
 
 // TileMemoryWords returns the arena words one tile of this program
 // uses: nine b² coefficient blocks, the b² iterate and the (b+2)²
 // extended output.
-func (p *SpMV2DMachine) TileMemoryWords() int {
-	return 10*p.B*p.B + (p.B+2)*(p.B+2)
-}
+func (p *SpMV2DMachine) TileMemoryWords() int { return p.prog.TileMemoryWords() }

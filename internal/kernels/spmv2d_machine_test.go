@@ -117,12 +117,8 @@ func TestSpMV2DMachineShardedIdentical(t *testing.T) {
 	src := randomHalfVector(m.N(), rng)
 	pa.LoadVector(src)
 	pb.LoadVector(src)
-	for _, st := range pa.tiles {
-		pa.armTile(st)
-	}
-	for _, st := range pb.tiles {
-		pb.armTile(st)
-	}
+	pa.Arm()
+	pb.Arm()
 	for cyc := 0; cyc < 400; cyc++ {
 		mseq.Step()
 		msh.Step()

@@ -1,103 +1,48 @@
 package kernels
 
 import (
-	"fmt"
-
 	"repro/internal/fabric"
 	"repro/internal/fp16"
 	"repro/internal/stencil"
-	"repro/internal/tensor"
+	"repro/internal/stencilc"
 	"repro/internal/wse"
 )
 
 // HaloDir names the four lateral halo directions of the 3D Z-column
 // mapping, from the owning tile's point of view: HaloXP is the halo
-// received from the +x neighbour, and so on.
-type HaloDir int
+// received from the +x neighbour, and so on. It is the stencil
+// compiler's direction type, re-exported for the multiwafer host.
+type HaloDir = stencilc.HaloDir
 
 // The four halo directions.
 const (
-	HaloXP HaloDir = iota
-	HaloXM
-	HaloYP
-	HaloYM
-	NumHaloDirs
+	HaloXP      = stencilc.HaloXP
+	HaloXM      = stencilc.HaloXM
+	HaloYP      = stencilc.HaloYP
+	HaloYM      = stencilc.HaloYM
+	NumHaloDirs = stencilc.NumHaloDirs
 )
-
-// haloTravel maps a halo direction to the directional exchange color the
-// data travels on: the +x neighbour's column arrives moving west.
-var haloTravel = [NumHaloDirs]int{HaloXP: colWest, HaloXM: colEast, HaloYP: colNorth, HaloYM: colSouth}
-
-// haloOut maps a halo direction to the color this tile's own column
-// leaves on toward that neighbour.
-var haloOut = [NumHaloDirs]int{HaloXP: colEast, HaloXM: colWest, HaloYP: colSouth, HaloYM: colNorth}
-
-// haloDelta is the fabric-coordinate offset of the neighbour in each
-// halo direction.
-var haloDelta = [NumHaloDirs][2]int{HaloXP: {1, 0}, HaloXM: {-1, 0}, HaloYP: {0, 1}, HaloYM: {0, -1}}
 
 // SpMV3DHalo is the memory-resident-halo rendering of the 3D 7-point
 // SpMV, built for composition across wafers (internal/multiwafer): the
-// machine's fabric covers the X×Y tile extent [X0, X0+W)×[Y0, Y0+H) of
-// a larger global mesh, each tile owns the Z-column of one (x, y) and
-// stores — besides its six coefficient and iterate/result columns —
-// four halo columns holding the neighbouring iterates.
-//
-// One application runs in two phases per tile. The exchange phase
-// streams the tile's iterate column to each on-fabric neighbour over
-// four single-hop directional colors and stores the neighbours' columns
-// into the halo buffers verbatim (wse.StreamStore — a bit-exact copy).
-// Halo columns whose neighbour lives on another wafer are filled by the
-// host before Run, modelling the CS-1's edge I/O; columns beyond the
-// global mesh stay zero and their scatter term is skipped, like the
-// functional reference. The compute phase then runs a fixed sequence of
-// tensor instructions in exactly stencil.Op7Half.Apply's rounding
-// order: zm, zp, xp, xm, yp, ym, then the unit diagonal.
-//
-// Because every arithmetic step is a per-tile instruction in a fixed
-// program order and halos move bit-verbatim, the result is bitwise
-// equal to Op7Half.Apply on the global mesh — independent of how the
-// mesh is cut into wafers and of the simulation engine. This is the
-// contract the multiwafer solver's decomposition-invariant residual
-// histories rest on, and it is what the Listing 1 kernel (SpMV3D)
-// cannot offer: its FIFO accumulation order is timing-dependent, so its
-// results are only close to, not equal to, the reference. The price is
-// memory for four halo columns and serialized (rather than overlapped)
-// exchange and compute.
+// 7-point star spec compiled by the stencil compiler. The machine's
+// fabric covers the X×Y tile extent [X0, X0+W)×[Y0, Y0+H) of a larger
+// global mesh, each tile owns the Z-column of one (x, y), exchanges
+// iterate columns with its four neighbours over single-hop directional
+// streams, and computes a fixed sequence of tensor instructions in
+// exactly stencil.Op7Half.Apply's rounding order — see
+// stencilc.Program3D for the schedule and the bit-identity contract the
+// multiwafer solver's decomposition-invariant residual histories rest
+// on. The golden tests pin this wrapper bit-identical — results,
+// cycles, machine fingerprint — to the hand-written generator it
+// replaced.
 type SpMV3DHalo struct {
 	M      *wse.Machine
 	Mesh   stencil.Mesh // the global mesh
 	X0, Y0 int          // global tile coordinate of fabric (0, 0)
 
-	base  fabric.Color
-	tiles []*haloTile
+	prog *stencilc.Program3D
 }
-
-type haloTile struct {
-	tile   *wse.Tile
-	x, y   int // fabric-local coordinate
-	gx, gy int // global mesh column
-
-	offC [6]int           // xp, xm, yp, ym, zp, zm coefficients, Z each
-	offV int              // iterate column, Z
-	offU int              // result column, Z
-	offH [NumHaloDirs]int // halo columns, Z each
-	from [NumHaloDirs]*wse.StreamBuf
-
-	compute *wse.Task
-	exLeft  int
-	done    bool
-}
-
-// coefficient vector indices within offC.
-const (
-	cXP = iota
-	cXM
-	cYP
-	cYM
-	cZP
-	cZM
-)
 
 // NewSpMV3DHalo builds the program on mach for the sub-extent of the
 // global operator op starting at tile (x0, y0); the fabric size selects
@@ -105,260 +50,44 @@ const (
 // the fabric must fit inside the mesh. base is the first of the four
 // directional exchange colors.
 func NewSpMV3DHalo(mach *wse.Machine, op *stencil.Op7Half, x0, y0 int, base fabric.Color) (*SpMV3DHalo, error) {
-	m := op.M
-	w, h := mach.Cfg.FabricW, mach.Cfg.FabricH
-	if m.NZ%2 != 0 {
-		return nil, fmt.Errorf("kernels: Z=%d must be even (two fp16 per fabric word)", m.NZ)
+	prog, err := stencilc.Compile3D(mach, stencilc.Spec7Point(), stencil.HalfFromOp7(op), x0, y0, base)
+	if err != nil {
+		return nil, err
 	}
-	if x0 < 0 || y0 < 0 || x0+w > m.NX || y0+h > m.NY {
-		return nil, fmt.Errorf("kernels: fabric %dx%d at (%d,%d) exceeds mesh %v", w, h, x0, y0, m)
-	}
-	if int(base)+NumStencil2DColors > fabric.MaxColors {
-		return nil, fmt.Errorf("kernels: halo exchange needs %d colors starting at %d", NumStencil2DColors, base)
-	}
-	p := &SpMV3DHalo{M: mach, Mesh: m, X0: x0, Y0: y0, base: base}
-	z := m.NZ
-
-	// Static routing: the same four single-hop directional streams the 2D
-	// block-halo kernel uses.
-	f := mach.Fab
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			at := fabric.Coord{X: x, Y: y}
-			if x < w-1 {
-				f.SetRoute(at, fabric.Ramp, base+colEast, fabric.Mask(fabric.East))
-				f.SetRoute(fabric.Coord{X: x + 1, Y: y}, fabric.West, base+colEast, fabric.Mask(fabric.Ramp))
-			}
-			if x > 0 {
-				f.SetRoute(at, fabric.Ramp, base+colWest, fabric.Mask(fabric.West))
-				f.SetRoute(fabric.Coord{X: x - 1, Y: y}, fabric.East, base+colWest, fabric.Mask(fabric.Ramp))
-			}
-			if y < h-1 {
-				f.SetRoute(at, fabric.Ramp, base+colSouth, fabric.Mask(fabric.South))
-				f.SetRoute(fabric.Coord{X: x, Y: y + 1}, fabric.North, base+colSouth, fabric.Mask(fabric.Ramp))
-			}
-			if y > 0 {
-				f.SetRoute(at, fabric.Ramp, base+colNorth, fabric.Mask(fabric.North))
-				f.SetRoute(fabric.Coord{X: x, Y: y - 1}, fabric.South, base+colNorth, fabric.Mask(fabric.Ramp))
-			}
-		}
-	}
-
-	p.tiles = make([]*haloTile, w*h)
-	names := [6]string{"xp", "xm", "yp", "ym", "zp", "zm"}
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			tl := mach.TileAt(fabric.Coord{X: x, Y: y})
-			st := &haloTile{tile: tl, x: x, y: y, gx: x0 + x, gy: y0 + y}
-			a := tl.Arena
-			var err error
-			alloc := func(name string, n int) int {
-				if err != nil {
-					return 0
-				}
-				var off int
-				off, err = a.Alloc(name, n)
-				return off
-			}
-			for k := range st.offC {
-				st.offC[k] = alloc(names[k], z)
-			}
-			st.offV = alloc("v", z)
-			st.offU = alloc("u", z)
-			for d := range st.offH {
-				st.offH[d] = alloc(fmt.Sprintf("h%d", d), z)
-			}
-			if err != nil {
-				return nil, fmt.Errorf("kernels: tile (%d,%d): %v", x, y, err)
-			}
-
-			// Stream subscriptions for on-fabric neighbours.
-			for d := HaloDir(0); d < NumHaloDirs; d++ {
-				nx, ny := x+haloDelta[d][0], y+haloDelta[d][1]
-				if nx >= 0 && nx < w && ny >= 0 && ny < h {
-					st.from[d] = wse.NewStreamBuf(4)
-					tl.Core.Subscribe(base+fabric.Color(haloTravel[d]), st.from[d])
-				}
-			}
-
-			st.compute = tl.Core.AddTask(&wse.Task{Name: "spmv3dh"})
-			st.compute.OnComplete = func(c *wse.Core) { st.done = true }
-			p.tiles[y*w+x] = st
-		}
-	}
-	p.LoadCoeff(op)
-	return p, nil
+	return &SpMV3DHalo{M: mach, Mesh: op.M, X0: x0, Y0: y0, prog: prog}, nil
 }
 
 // LoadCoeff (re)loads the six coefficient columns from the global
 // operator. Routing, memory layout and task structure are reused.
-func (p *SpMV3DHalo) LoadCoeff(op *stencil.Op7Half) {
-	if op.M != p.Mesh {
-		panic(fmt.Sprintf("kernels: operator mesh %v does not match program mesh %v", op.M, p.Mesh))
-	}
-	z := p.Mesh.NZ
-	src := [6][]fp16.Float16{cXP: op.XP, cXM: op.XM, cYP: op.YP, cYM: op.YM, cZP: op.ZP, cZM: op.ZM}
-	for _, st := range p.tiles {
-		a := st.tile.Arena
-		for zz := 0; zz < z; zz++ {
-			i := p.Mesh.Index(st.gx, st.gy, zz)
-			for k := range src {
-				a.Set(st.offC[k]+zz, src[k][i])
-			}
-		}
-	}
-}
+func (p *SpMV3DHalo) LoadCoeff(op *stencil.Op7Half) { p.prog.LoadCoeff(stencil.HalfFromOp7(op)) }
 
 // Tiles returns the tile count (fabric row-major indexing).
-func (p *SpMV3DHalo) Tiles() int { return len(p.tiles) }
+func (p *SpMV3DHalo) Tiles() int { return p.prog.Tiles() }
 
 // GlobalCoord returns the global mesh column of tile index i.
-func (p *SpMV3DHalo) GlobalCoord(i int) (gx, gy int) { return p.tiles[i].gx, p.tiles[i].gy }
+func (p *SpMV3DHalo) GlobalCoord(i int) (gx, gy int) { return p.prog.GlobalCoord(i) }
 
 // Iterate returns tile i's live iterate column (Z elements of arena
 // storage). The host writes the solver's source vector here before Run
 // and reads boundary columns from it when shipping inter-wafer halos;
 // both are bit-verbatim copies.
-func (p *SpMV3DHalo) Iterate(i int) []fp16.Float16 {
-	st := p.tiles[i]
-	return st.tile.Arena.Slice(st.offV, p.Mesh.NZ)
-}
+func (p *SpMV3DHalo) Iterate(i int) []fp16.Float16 { return p.prog.Iterate(i) }
 
 // Result returns tile i's live result column.
-func (p *SpMV3DHalo) Result(i int) []fp16.Float16 {
-	st := p.tiles[i]
-	return st.tile.Arena.Slice(st.offU, p.Mesh.NZ)
-}
+func (p *SpMV3DHalo) Result(i int) []fp16.Float16 { return p.prog.Result(i) }
 
 // Halo returns tile i's live halo column for direction d. The host
 // fills it for off-wafer neighbours before Run; on-fabric directions
 // are overwritten by the exchange phase.
-func (p *SpMV3DHalo) Halo(i int, d HaloDir) []fp16.Float16 {
-	st := p.tiles[i]
-	return st.tile.Arena.Slice(st.offH[d], p.Mesh.NZ)
-}
-
-// onFabric reports whether tile st's neighbour in direction d lies on
-// this machine's fabric.
-func (p *SpMV3DHalo) onFabric(st *haloTile, d HaloDir) bool {
-	return st.from[d] != nil
-}
-
-// inMesh reports whether tile st has a neighbour in direction d on the
-// global mesh at all.
-func (p *SpMV3DHalo) inMesh(st *haloTile, d HaloDir) bool {
-	gx, gy := st.gx+haloDelta[d][0], st.gy+haloDelta[d][1]
-	return gx >= 0 && gx < p.Mesh.NX && gy >= 0 && gy < p.Mesh.NY
-}
-
-// armTile prepares one application: zeroes the result column, launches
-// the exchange threads, and chains the fixed-order compute task behind
-// their completion.
-func (p *SpMV3DHalo) armTile(st *haloTile) {
-	z := p.Mesh.NZ
-	a := st.tile.Arena
-	core := st.tile.Core
-	for i := 0; i < z; i++ {
-		a.Set(st.offU+i, fp16.Zero)
-	}
-	st.done = false
-
-	// Compute task body, in stencil.Op7Half.Apply's exact order. The
-	// z-direction terms come from the tile's own column (shifted
-	// descriptors, skipping the meshless end); lateral terms multiply a
-	// halo column and are skipped entirely at the global mesh boundary,
-	// mirroring the reference's per-point conditionals (which are
-	// uniform along a Z-column).
-	instrs := make([]wse.Instr, 0, 7)
-	if z > 1 {
-		instrs = append(instrs, &wse.MemOp{ // u[z] = zm[z] * v[z-1]
-			Kind: wse.OpMul, Arena: a,
-			Dst: tensor.Vec1D(st.offU+1, z-1),
-			A:   tensor.Vec1D(st.offC[cZM]+1, z-1),
-			B:   tensor.Vec1D(st.offV, z-1),
-		})
-		instrs = append(instrs, &wse.MemOp{ // u[z] += zp[z] * v[z+1]
-			Kind: wse.OpMulAcc, Arena: a,
-			Dst: tensor.Vec1D(st.offU, z-1),
-			A:   tensor.Vec1D(st.offC[cZP], z-1),
-			B:   tensor.Vec1D(st.offV+1, z-1),
-		})
-	}
-	lat := [NumHaloDirs]int{HaloXP: cXP, HaloXM: cXM, HaloYP: cYP, HaloYM: cYM}
-	for d := HaloDir(0); d < NumHaloDirs; d++ {
-		if !p.inMesh(st, d) {
-			continue
-		}
-		instrs = append(instrs, &wse.MemOp{ // u += c_d * halo_d
-			Kind: wse.OpMulAcc, Arena: a,
-			Dst: tensor.Vec1D(st.offU, z),
-			A:   tensor.Vec1D(st.offC[lat[d]], z),
-			B:   tensor.Vec1D(st.offH[d], z),
-		})
-	}
-	instrs = append(instrs, &wse.MemOp{ // u += v (unit main diagonal)
-		Kind: wse.OpAdd, Arena: a,
-		Dst: tensor.Vec1D(st.offU, z),
-		A:   tensor.Vec1D(st.offU, z),
-		B:   tensor.Vec1D(st.offV, z),
-	})
-	st.compute.Instrs = instrs
-
-	// Exchange phase: one send and one store thread per on-fabric
-	// neighbour (slots 0–3 send, 4–7 store). Compute starts when all
-	// complete; a tile with no on-fabric neighbour computes immediately.
-	st.exLeft = 0
-	for d := HaloDir(0); d < NumHaloDirs; d++ {
-		if p.onFabric(st, d) {
-			st.exLeft += 2
-		}
-	}
-	if st.exLeft == 0 {
-		core.Activate(st.compute)
-		return
-	}
-	onDone := func(c *wse.Core) {
-		st.exLeft--
-		if st.exLeft == 0 {
-			c.Activate(st.compute)
-		}
-	}
-	for d := HaloDir(0); d < NumHaloDirs; d++ {
-		if !p.onFabric(st, d) {
-			continue
-		}
-		core.LaunchThread(int(d), "halo_tx", &wse.SendMem{
-			Color: p.base + fabric.Color(haloOut[d]),
-			Src:   tensor.Vec1D(st.offV, z),
-			Arena: a, Total: z,
-		}, onDone)
-		core.LaunchThread(int(NumHaloDirs+d), "halo_rx", &wse.StreamStore{
-			Src:   wse.StreamSource{B: st.from[d]},
-			Dst:   tensor.Vec1D(st.offH[d], z),
-			Arena: a, Total: z,
-		}, onDone)
-	}
-}
+func (p *SpMV3DHalo) Halo(i int, d HaloDir) []fp16.Float16 { return p.prog.Halo(i, d, 1) }
 
 // Run executes one application under cycle simulation and returns the
 // cycles it took. Off-wafer halo columns must already hold the current
 // neighbouring iterates (the multiwafer host injects them, charging the
 // edge-I/O model separately).
-func (p *SpMV3DHalo) Run(maxCycles int64) (int64, error) {
-	for _, st := range p.tiles {
-		p.armTile(st)
-	}
-	return p.M.RunUntil(func() bool {
-		for _, st := range p.tiles {
-			if !st.done {
-				return false
-			}
-		}
-		return true
-	}, maxCycles)
-}
+func (p *SpMV3DHalo) Run(maxCycles int64) (int64, error) { return p.prog.Run(maxCycles) }
 
 // TileMemoryWords returns the arena words one tile of this program
 // uses: six coefficient columns, iterate, result, and four halo
 // columns — 12·Z words.
-func (p *SpMV3DHalo) TileMemoryWords() int { return 12 * p.Mesh.NZ }
+func (p *SpMV3DHalo) TileMemoryWords() int { return p.prog.TileMemoryWords() }

@@ -1,0 +1,205 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fp16"
+	"repro/internal/solver"
+	"repro/internal/stencil"
+	"repro/internal/stencilc"
+	"repro/internal/wse"
+)
+
+// BiCGStabStarWSE runs BiCGStab on the simulated wafer for an arbitrary
+// star stencil: the SpMV is a stencil-compiled relay-exchange program
+// (stencilc.Program3D) applying a unit-diagonal star operator of
+// per-axis widths up to stencilc.MaxWidth — the 25-point seismic
+// stencil, the 7-point heat step, and everything between — and the
+// Algorithm 1 control flow (mixed-precision dots, Figure 6 AllReduces,
+// SIMD vector updates) is the shared wseBiCG engine. At widths {1,1,1}
+// the compiled program is instruction-identical to the halo-exchange
+// SpMV, so this solver reproduces BiCGStabWSE's halo pipeline bit for
+// bit (pinned by TestStarSolverMatchesHalo).
+type BiCGStabStarWSE struct {
+	M    *wse.Machine
+	Mesh stencil.Mesh
+	Spec stencilc.Spec
+
+	prog *stencilc.Program3D
+	eng  *wseBiCG
+}
+
+// NewBiCGStabStarWSE builds the solver for a unit-diagonal star
+// operator whose X×Y extent equals the machine fabric (one Z column per
+// tile; the solve's boundary handling relies on never-written halos
+// staying zero, which is the Dirichlet condition only on a full-mesh
+// wafer). The exchange uses the stencil compiler's four directional
+// colors and the AllReduce the six after them.
+func NewBiCGStabStarWSE(m *wse.Machine, spec stencilc.Spec, op *stencil.OpStarHalf) (*BiCGStabStarWSE, error) {
+	if op.M.NX != m.Cfg.FabricW || op.M.NY != m.Cfg.FabricH {
+		return nil, fmt.Errorf("kernels: star solve requires the mesh extent %d×%d to equal the fabric %d×%d",
+			op.M.NX, op.M.NY, m.Cfg.FabricW, m.Cfg.FabricH)
+	}
+	prog, err := stencilc.Compile3D(m, spec, op, 0, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	s := &BiCGStabStarWSE{M: m, Mesh: op.M, Spec: spec, prog: prog}
+	s.eng, err = newWSEBiCG(m, op.M.NZ, NumStencil2DColors, s.runSpMV)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadCoeff swaps in a new operator on the same mesh and widths;
+// routing, memory layout and task structure are reused.
+func (s *BiCGStabStarWSE) LoadCoeff(op *stencil.OpStarHalf) { s.prog.LoadCoeff(op) }
+
+// Solve runs BiCGStab for the right-hand side b (mesh-indexed, fp16)
+// with a zero initial guess.
+func (s *BiCGStabStarWSE) Solve(bvec []fp16.Float16, opts WSEOptions) ([]fp16.Float16, WSEStats, error) {
+	m := s.Mesh
+	if len(bvec) != m.N() {
+		return nil, WSEStats{}, fmt.Errorf("kernels: rhs length %d, want %d", len(bvec), m.N())
+	}
+	return s.eng.solve(bvec, func(tile, elem int) int {
+		c := s.M.Tiles[tile].Coord
+		return m.Index(c.X, c.Y, elem)
+	}, opts)
+}
+
+// runSpMV copies src into the program's iterate columns, runs the
+// relay-exchange application, and copies the result columns to dst. The
+// copies model descriptor re-aliasing and are free; the SpMV cycles are
+// measured.
+func (s *BiCGStabStarWSE) runSpMV(src, dst []int, acc *int64) error {
+	z := s.Mesh.NZ
+	for i, t := range s.M.Tiles {
+		copy(s.prog.Iterate(i), t.Arena.Slice(src[i], z))
+	}
+	cycles, err := s.prog.Run(int64(z)*1000 + 1<<20)
+	if err != nil {
+		return err
+	}
+	*acc += cycles
+	for i, t := range s.M.Tiles {
+		copy(t.Arena.Slice(dst[i], z), s.prog.Result(i))
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// solver.BackendStar adapter
+
+// WaferStarBackend executes star-stencil linear solves on a
+// cycle-simulated wafer through the stencil compiler. The first
+// SolveStar call fixes the mesh (whose X×Y extent must equal the
+// machine's fabric) and builds the wafer program; subsequent calls on
+// the same mesh and widths reload coefficients and reuse routing,
+// memory layout and tasks — the implicit heat stepper solves every
+// time step on one warm machine. The caller owns the machine and must
+// Close it when done.
+//
+// The right-hand side is pre-scaled by a power of two so its magnitude
+// sits near one — exact in both float64 and fp16 — and the solution is
+// unscaled on the way out, exactly as the 2D wafer backend does.
+type WaferStarBackend struct {
+	mach *wse.Machine
+	spec stencilc.Spec
+	prog *BiCGStabStarWSE
+
+	// Cumulative instrumentation across solves, for cycles/meshpoint
+	// reporting.
+	Solves     int
+	Iterations int
+	Cycles     PhaseCycles
+	// LastStats is the raw wafer statistics of the most recent solve.
+	LastStats WSEStats
+}
+
+// NewWaferStarBackend wraps mach as a star solve backend for spec.
+func NewWaferStarBackend(mach *wse.Machine, spec stencilc.Spec) *WaferStarBackend {
+	return &WaferStarBackend{mach: mach, spec: spec}
+}
+
+// Name implements solver.BackendStar.
+func (w *WaferStarBackend) Name() string { return "wse" }
+
+// Machine returns the underlying simulated machine (fingerprinting in
+// equivalence tests).
+func (w *WaferStarBackend) Machine() *wse.Machine { return w.mach }
+
+// SolveStar implements solver.BackendStar.
+func (w *WaferStarBackend) SolveStar(op *stencil.OpStar, b, x0 []float64, opts solver.Options) ([]float64, solver.Stats, error) {
+	for i, v := range x0 {
+		if v != 0 {
+			return nil, solver.Stats{}, fmt.Errorf("kernels: wafer star solve requires a zero initial guess (x0[%d] = %g)", i, v)
+		}
+	}
+	// Reject non-lowerable specs before building the fp16 half operator:
+	// the host references assert Dirichlet, and the caller deserves the
+	// compiler's *UnsupportedError rather than that panic.
+	if err := w.spec.Lowerable(); err != nil {
+		return nil, solver.Stats{}, err
+	}
+	if w.prog == nil {
+		prog, err := NewBiCGStabStarWSE(w.mach, w.spec, stencil.NewOpStarHalf(op))
+		if err != nil {
+			return nil, solver.Stats{}, err
+		}
+		w.prog = prog
+	} else {
+		if op.M != w.prog.Mesh {
+			return nil, solver.Stats{}, fmt.Errorf("kernels: wafer star backend built for mesh %v, got %v", w.prog.Mesh, op.M)
+		}
+		w.prog.LoadCoeff(stencil.NewOpStarHalf(op))
+	}
+
+	amax := 0.0
+	for _, v := range b {
+		amax = math.Max(amax, math.Abs(v))
+	}
+	if amax == 0 {
+		return nil, solver.Stats{}, solver.ErrZeroRHS
+	}
+	_, exp := math.Frexp(amax) // amax·2^−exp ∈ [0.5, 1)
+	scaled := make([]fp16.Float16, len(b))
+	for i, v := range b {
+		scaled[i] = fp16.FromFloat64(math.Ldexp(v, -exp))
+	}
+
+	x16, st, err := w.prog.Solve(scaled, WSEOptions{
+		Ctx:     opts.Ctx,
+		MaxIter: opts.MaxIter, Tol: opts.Tol,
+		CheckpointEvery: opts.CheckpointEvery, Checkpoint: opts.Checkpoint, Resume: opts.Resume,
+	})
+	if err != nil {
+		return nil, solver.Stats{}, err
+	}
+	w.Solves++
+	w.Iterations += st.Iterations
+	w.Cycles.SpMV += st.Cycles.SpMV
+	w.Cycles.Dot += st.Cycles.Dot
+	w.Cycles.AllReduce += st.Cycles.AllReduce
+	w.Cycles.Axpy += st.Cycles.Axpy
+	w.LastStats = st
+
+	out := make([]float64, len(x16))
+	for i, v := range x16 {
+		out[i] = math.Ldexp(v.Float64(), exp)
+	}
+	stats := solver.Stats{
+		Iterations: st.Iterations,
+		Converged:  st.Converged,
+		Breakdown:  st.Breakdown,
+	}
+	if n := len(st.History); n > 0 {
+		stats.FinalResidual = st.History[n-1]
+	}
+	if opts.RecordHistory {
+		stats.History = st.History
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,47 @@
+package perfmodel
+
+import "testing"
+
+// TestStencilApplyMatchesHaloClosedForm cross-checks the replay model
+// against the independently derived width-1 closed form: for unit halo
+// widths the compiled 3D program is the classic single-round exchange
+// HaloSpMVCycles models, so the two perfmodel entries must agree
+// everywhere. (Both are separately pinned to the simulator — this keeps
+// them pinned to each other.)
+func TestStencilApplyMatchesHaloClosedForm(t *testing.T) {
+	for _, c := range []struct{ w, h, z int }{
+		{1, 1, 4}, {2, 1, 4}, {1, 3, 8}, {2, 2, 4}, {3, 3, 4},
+		{4, 3, 6}, {2, 2, 32}, {3, 3, 16}, {5, 2, 10}, {6, 6, 8},
+		{25, 3, 4}, {40, 40, 6},
+	} {
+		got := StencilApply3D{W: c.w, H: c.h, Z: c.z, Widths: [3]int{1, 1, 1}}.Cycles()
+		want := int64(HaloSpMVCycles(c.w, c.h, c.z, c.w, c.h))
+		if got != want {
+			t.Errorf("(%d,%d,%d): replay model %d, closed form %d", c.w, c.h, c.z, got, want)
+		}
+	}
+}
+
+// TestStencilApplyWidthMonotone sanity-checks shape behaviour: wider
+// halos and deeper columns never get cheaper.
+func TestStencilApplyWidthMonotone(t *testing.T) {
+	prev := int64(0)
+	for wdt := 1; wdt <= 4; wdt++ {
+		c := StencilApply3D{W: 5, H: 5, Z: 8, Widths: [3]int{wdt, wdt, wdt}}.Cycles()
+		if c <= prev {
+			t.Fatalf("width %d: %d cycles, not above width %d's %d", wdt, c, wdt-1, prev)
+		}
+		prev = c
+	}
+	prev = 0
+	for _, z := range []int{4, 8, 16, 32} {
+		c := StencilApply3D{W: 4, H: 4, Z: z, Widths: [3]int{2, 2, 2}}.Cycles()
+		if c <= prev {
+			t.Fatalf("z=%d: %d cycles, did not grow from %d", z, c, prev)
+		}
+		prev = c
+	}
+	if b4 := (StencilApply2D{W: 3, H: 3, B: 4, Points: 9}).Cycles(); b4 <= (StencilApply2D{W: 3, H: 3, B: 2, Points: 9}).Cycles() {
+		t.Fatalf("2D b=4 (%d) not above b=2", b4)
+	}
+}

@@ -1,0 +1,40 @@
+package stencil
+
+import "fmt"
+
+// Boundary selects how an operator treats neighbours beyond the mesh.
+type Boundary int
+
+// Boundary rules.
+const (
+	// Dirichlet truncates: off-mesh neighbours contribute zero (the
+	// rule every wafer kernel implements — a missing term is a skipped
+	// instruction, bit-identical to adding nothing).
+	Dirichlet Boundary = iota
+	// Periodic wraps indices around the mesh. Host references only;
+	// the wafer exchange schedules have no wrap channels.
+	Periodic
+)
+
+// String names the boundary rule.
+func (b Boundary) String() string {
+	switch b {
+	case Dirichlet:
+		return "dirichlet"
+	case Periodic:
+		return "periodic"
+	default:
+		return fmt.Sprintf("boundary(%d)", int(b))
+	}
+}
+
+// ParseBoundary maps flag/wire names to a boundary rule.
+func ParseBoundary(s string) (Boundary, error) {
+	switch s {
+	case "dirichlet":
+		return Dirichlet, nil
+	case "periodic":
+		return Periodic, nil
+	}
+	return 0, fmt.Errorf("stencil: unknown boundary %q (want dirichlet or periodic)", s)
+}

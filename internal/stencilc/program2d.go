@@ -1,0 +1,492 @@
+package stencilc
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/fp16"
+	"repro/internal/stencil"
+	"repro/internal/tensor"
+	"repro/internal/wse"
+)
+
+// Program2D is a compiled 2D block-halo stencil program: each tile owns
+// a b×b block of the mesh and the coefficient diagonals for it, computes
+// the spec's products of one application into an output region extended
+// by a one-point halo, and exchanges output halos with its four
+// neighbours over fabric streams in two rounds — first the ±x columns of
+// height b+2, then the ±y rows of width b, folding corner contributions
+// through the x round so no diagonal communication is needed (box and
+// star specs share the exchange schedule; a star simply emits four fewer
+// scatter instructions).
+//
+// Per tile the program is: a "local" task of one block FMAC instruction
+// per stencil point (scatter form), whose completion launches the
+// x-round threads (two halo-column sends, two stream adds from the
+// neighbour streams); their completion launches the y-round threads;
+// the y round completes the application — or, for ReduceSumSq specs,
+// hands off to a fused per-tile Σy² dot task. All scheduling is
+// tile-local — cross-tile signalling happens only through the fabric —
+// so the program is bit-identical under the sequential and sharded
+// engines, and bit-identical to Reference2D (same rounding order
+// everywhere; the equivalence tests assert both).
+type Program2D struct {
+	M    *wse.Machine
+	Mesh stencil.Mesh2D
+	Spec Spec
+	B    int // block edge (even, ≥ 2)
+
+	base   fabric.Color
+	points [][2]int // spec point set, row-major ascending offsets
+	centre int      // index of (0,0) in points
+	tiles  []*tile2D
+
+	partials []float32 // per-tile Σy² when Spec.Reduce == ReduceSumSq
+}
+
+type tile2D struct {
+	tile *wse.Tile
+	x, y int // tile coordinate
+
+	offC []int // coefficient blocks, b² each, one per point, block row-major
+	offV int   // iterate block, b²
+	offE int   // extended output region, (b+2)², cell (i,j) at (i+1)+(j+1)(b+2)
+
+	// Neighbour streams, indexed by the direction the words travel:
+	// from[ColEast] carries the west neighbour's eastbound halo, etc.
+	from [4]*wse.StreamBuf
+
+	localTask *wse.Task
+	dotTask   *wse.Task // fused Σy², nil unless ReduceSumSq
+
+	xLeft, yLeft int // outstanding x- and y-round threads
+	done         bool
+}
+
+// Compile2D lowers spec onto mach as a block-halo program for the
+// normalized operator op, with b×b blocks. The mesh must tile the fabric
+// exactly (NX = b·FabricW, NY = b·FabricH) and b must be even: fabric
+// words carry two fp16 elements, and an even b keeps every halo transfer
+// (b+2 column elements, b row elements) whole-word so no pad element is
+// left behind in a stream buffer between applications. base is the first
+// of the four directional exchange colors.
+func Compile2D(mach *wse.Machine, spec Spec, op *stencil.Op9, b int, base fabric.Color) (*Program2D, error) {
+	if err := spec.checkLowerable(); err != nil {
+		return nil, err
+	}
+	if spec.Dim != 2 {
+		return nil, fmt.Errorf("stencilc: Compile2D needs a 2D spec, got dim %d", spec.Dim)
+	}
+	if spec.Widths[0] != 1 || spec.Widths[1] != 1 {
+		return nil, unsupported(spec, "the 2D block lowering exchanges one-point halos; widths (%d,%d) need the 3D relay schedule",
+			spec.Widths[0], spec.Widths[1])
+	}
+	m := op.M
+	if b < 2 || b%2 != 0 {
+		return nil, fmt.Errorf("stencilc: 2D block edge %d must be even and >= 2", b)
+	}
+	if m.NX != b*mach.Cfg.FabricW || m.NY != b*mach.Cfg.FabricH {
+		return nil, fmt.Errorf("stencilc: mesh %dx%d does not tile fabric %dx%d with %d×%d blocks",
+			m.NX, m.NY, mach.Cfg.FabricW, mach.Cfg.FabricH, b, b)
+	}
+	if int(base)+NumExchangeColors > fabric.MaxColors {
+		return nil, fmt.Errorf("stencilc: 2D exchange needs %d colors starting at %d", NumExchangeColors, base)
+	}
+	p := &Program2D{M: mach, Mesh: m, Spec: spec, B: b, base: base}
+	p.points, p.centre = spec.points2D()
+
+	// Static routing: four single-hop directional streams.
+	w, h := mach.Cfg.FabricW, mach.Cfg.FabricH
+	RouteExchange(mach.Fab, w, h, base)
+
+	// Per-tile memory, stream subscriptions, tasks.
+	p.tiles = make([]*tile2D, w*h)
+	if spec.Reduce == ReduceSumSq {
+		p.partials = make([]float32, w*h)
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			tl := mach.TileAt(fabric.Coord{X: x, Y: y})
+			st := &tile2D{tile: tl, x: x, y: y}
+			a := tl.Arena
+			var err error
+			alloc := func(name string, n int) int {
+				if err != nil {
+					return 0
+				}
+				var off int
+				off, err = a.Alloc(name, n)
+				return off
+			}
+			st.offC = make([]int, len(p.points))
+			for k := range st.offC {
+				st.offC[k] = alloc(fmt.Sprintf("c%d", k), b*b)
+			}
+			st.offV = alloc("v", b*b)
+			st.offE = alloc("ext", (b+2)*(b+2))
+			if err != nil {
+				return nil, fmt.Errorf("stencilc: tile (%d,%d): %v", x, y, err)
+			}
+
+			sub := func(dir int, has bool) {
+				if has {
+					st.from[dir] = wse.NewStreamBuf(4)
+					tl.Core.Subscribe(base+fabric.Color(dir), st.from[dir])
+				}
+			}
+			sub(ColEast, x > 0) // west neighbour's eastbound words
+			sub(ColWest, x < w-1)
+			sub(ColSouth, y > 0)
+			sub(ColNorth, y < h-1)
+
+			st.localTask = tl.Core.AddTask(&wse.Task{Name: "spmv2d"})
+			st.localTask.OnComplete = func(c *wse.Core) { p.launchX(st) }
+			if spec.Reduce == ReduceSumSq {
+				st.dotTask = tl.Core.AddTask(&wse.Task{Name: "sumsq"})
+				st.dotTask.OnComplete = func(c *wse.Core) { st.done = true }
+			}
+			p.tiles[y*w+x] = st
+		}
+	}
+	p.LoadCoeff(op)
+	return p, nil
+}
+
+// off9Index maps a unit-width 2D point offset to its stencil.Off9 slot.
+func off9Index(off [2]int) int { return (off[1]+1)*3 + (off[0] + 1) }
+
+// LoadCoeff (re)loads the coefficient diagonals. The solver calls this
+// between outer iterations when the operator changes; routing, memory
+// layout and task structure are reused. The operator must have a unit
+// centre coefficient, live on the same mesh, and — for star specs — have
+// zero coefficients on the corner diagonals the point set omits.
+func (p *Program2D) LoadCoeff(op *stencil.Op9) {
+	m := p.Mesh
+	if op.M != m {
+		panic(fmt.Sprintf("stencilc: operator mesh %v does not match program mesh %v", op.M, m))
+	}
+	if len(p.points) < 9 {
+		// The star program never multiplies the corner diagonals; a
+		// nonzero one would silently change the operator.
+		inSpec := map[int]bool{}
+		for _, off := range p.points {
+			inSpec[off9Index(off)] = true
+		}
+		for k := range op.C {
+			if inSpec[k] {
+				continue
+			}
+			for _, v := range op.C[k] {
+				if v != 0 {
+					panic(fmt.Sprintf("stencilc: operator has a nonzero coefficient on diagonal %v outside the %s point set",
+						stencil.Off9[k], p.Spec.Points))
+				}
+			}
+		}
+	}
+	b := p.B
+	for _, st := range p.tiles {
+		a := st.tile.Arena
+		for j := 0; j < b; j++ {
+			for i := 0; i < b; i++ {
+				gx, gy := st.x*b+i, st.y*b+j
+				for kk, off := range p.points {
+					// Scatter form: source cell S contributes
+					// C[k][P]·v[S] to P = S − off_k; the tile stores the
+					// coefficient sampled at P, zero beyond the mesh
+					// (Dirichlet truncation; a zero product is a bitwise
+					// no-op on the accumulator).
+					px, py := gx-off[0], gy-off[1]
+					v := fp16.Zero
+					if m.In(px, py) {
+						k := off9Index(off)
+						if kk == p.centre && op.C[k][m.Index(px, py)] != 1 {
+							panic("stencilc: the 2D block program requires a unit centre coefficient")
+						}
+						v = fp16.FromFloat64(op.C[k][m.Index(px, py)])
+					}
+					a.Set(st.offC[kk]+j*b+i, v)
+				}
+			}
+		}
+	}
+}
+
+// extCol returns the descriptor of extended-output column i ∈ [-1, b]
+// (b+2 elements, rows j = -1..b).
+func (p *Program2D) extCol(st *tile2D, i int) tensor.Descriptor {
+	return tensor.Strided(st.offE+i+1, p.B+2, p.B+2)
+}
+
+// extRow returns the descriptor of extended-output row j ∈ [-1, b]
+// restricted to the block columns i = 0..b-1 (b elements) — the y-round
+// halo shape; corner cells travelled with the x round.
+func (p *Program2D) extRow(st *tile2D, j int) tensor.Descriptor {
+	return tensor.Strided(st.offE+1+(j+1)*(p.B+2), p.B, 1)
+}
+
+// armTile prepares one application: zeroes the extended output
+// (descriptor re-aliasing, free as in the 3D kernel's armTile), wires
+// the scatter instructions with fresh descriptors, and activates the
+// local task.
+func (p *Program2D) armTile(st *tile2D) {
+	b := p.B
+	a := st.tile.Arena
+	for i := 0; i < (b+2)*(b+2); i++ {
+		a.Set(st.offE+i, fp16.Zero)
+	}
+
+	instrs := make([]wse.Instr, len(p.points))
+	for kk, off := range p.points {
+		dx, dy := -off[0], -off[1]
+		instrs[kk] = &wse.MemOp{
+			Kind:  wse.OpMulAcc,
+			Arena: a,
+			Dst:   tensor.Mat2D(st.offE+(1+dx)+(1+dy)*(b+2), b, b, b+2),
+			A:     tensor.Vec1D(st.offV, b*b),
+			B:     tensor.Vec1D(st.offC[kk], b*b),
+		}
+	}
+	st.localTask.Instrs = instrs
+	if st.dotTask != nil {
+		i := st.y*p.M.Cfg.FabricW + st.x
+		p.partials[i] = 0
+		st.dotTask.Instrs = []wse.Instr{&wse.DotMixed{
+			A:     tensor.Mat2D(st.offE+1+(b+2), b, b, b+2),
+			B:     tensor.Mat2D(st.offE+1+(b+2), b, b, b+2),
+			Arena: a,
+			Out:   &p.partials[i],
+		}}
+	}
+	st.done = false
+	st.xLeft, st.yLeft = 0, 0
+	st.tile.Core.Activate(st.localTask)
+}
+
+// finishTile ends the application after the y round: directly for plain
+// specs, or through the fused reduction task.
+func (p *Program2D) finishTile(st *tile2D, c *wse.Core) {
+	if st.dotTask != nil {
+		c.Activate(st.dotTask)
+		return
+	}
+	st.done = true
+}
+
+// launchX starts the ±x exchange round: send the two halo columns
+// (height b+2) toward the existing neighbours and accumulate the
+// neighbours' incoming columns into the block's edge columns. Runs from
+// the local task's OnComplete, on the owning core.
+func (p *Program2D) launchX(st *tile2D) {
+	core := st.tile.Core
+	a := st.tile.Arena
+	b := p.B
+	w := p.M.Cfg.FabricW
+
+	type tx struct {
+		col fabric.Color
+		src tensor.Descriptor
+		has bool
+	}
+	sends := []tx{
+		{p.base + ColWest, p.extCol(st, -1), st.x > 0},
+		{p.base + ColEast, p.extCol(st, b), st.x < w-1},
+	}
+	type rx struct {
+		buf *wse.StreamBuf
+		acc tensor.Descriptor
+	}
+	recvs := []rx{
+		{st.from[ColEast], p.extCol(st, 0)},   // west neighbour's column folds into i=0
+		{st.from[ColWest], p.extCol(st, b-1)}, // east neighbour's into i=b-1
+	}
+
+	for _, s := range sends {
+		if s.has {
+			st.xLeft++
+		}
+	}
+	for _, r := range recvs {
+		if r.buf != nil {
+			st.xLeft++
+		}
+	}
+	if st.xLeft == 0 {
+		p.launchY(st)
+		return
+	}
+	onDone := func(c *wse.Core) {
+		st.xLeft--
+		if st.xLeft == 0 {
+			p.launchY(st)
+		}
+	}
+	slot := 0
+	for _, s := range sends {
+		if s.has {
+			core.LaunchThread(slot, "xh_tx", &wse.SendMem{
+				Color: s.col, Src: s.src, Arena: a, Total: b + 2,
+			}, onDone)
+			slot++
+		}
+	}
+	for _, r := range recvs {
+		if r.buf != nil {
+			core.LaunchThread(slot, "xh_rx", &wse.StreamAdd{
+				Src: wse.StreamSource{B: r.buf}, Acc: r.acc, Arena: a, Total: b + 2,
+			}, onDone)
+			slot++
+		}
+	}
+}
+
+// launchY starts the ±y round (rows of width b, corners already folded
+// by the x round), whose completion finishes the application.
+func (p *Program2D) launchY(st *tile2D) {
+	core := st.tile.Core
+	a := st.tile.Arena
+	b := p.B
+	h := p.M.Cfg.FabricH
+
+	type tx struct {
+		col fabric.Color
+		src tensor.Descriptor
+		has bool
+	}
+	sends := []tx{
+		{p.base + ColNorth, p.extRow(st, -1), st.y > 0},
+		{p.base + ColSouth, p.extRow(st, b), st.y < h-1},
+	}
+	type rx struct {
+		buf *wse.StreamBuf
+		acc tensor.Descriptor
+	}
+	recvs := []rx{
+		{st.from[ColSouth], p.extRow(st, 0)},   // north neighbour's row folds into j=0
+		{st.from[ColNorth], p.extRow(st, b-1)}, // south neighbour's into j=b-1
+	}
+
+	for _, s := range sends {
+		if s.has {
+			st.yLeft++
+		}
+	}
+	for _, r := range recvs {
+		if r.buf != nil {
+			st.yLeft++
+		}
+	}
+	if st.yLeft == 0 {
+		p.finishTile(st, core)
+		return
+	}
+	onDone := func(c *wse.Core) {
+		st.yLeft--
+		if st.yLeft == 0 {
+			p.finishTile(st, c)
+		}
+	}
+	slot := 0
+	for _, s := range sends {
+		if s.has {
+			core.LaunchThread(slot, "yh_tx", &wse.SendMem{
+				Color: s.col, Src: s.src, Arena: a, Total: b,
+			}, onDone)
+			slot++
+		}
+	}
+	for _, r := range recvs {
+		if r.buf != nil {
+			core.LaunchThread(slot, "yh_rx", &wse.StreamAdd{
+				Src: wse.StreamSource{B: r.buf}, Acc: r.acc, Arena: a, Total: b,
+			}, onDone)
+			slot++
+		}
+	}
+}
+
+// LoadVector scatters the global iterate v (mesh row-major) into the
+// tiles' block-local iterate storage.
+func (p *Program2D) LoadVector(v []fp16.Float16) {
+	b := p.B
+	for _, st := range p.tiles {
+		a := st.tile.Arena
+		for j := 0; j < b; j++ {
+			for i := 0; i < b; i++ {
+				a.Set(st.offV+j*b+i, v[p.Mesh.Index(st.x*b+i, st.y*b+j)])
+			}
+		}
+	}
+}
+
+// Result gathers the block interiors into a global mesh-indexed vector.
+func (p *Program2D) Result() []fp16.Float16 {
+	b := p.B
+	out := make([]fp16.Float16, p.Mesh.N())
+	for _, st := range p.tiles {
+		a := st.tile.Arena
+		for j := 0; j < b; j++ {
+			for i := 0; i < b; i++ {
+				out[p.Mesh.Index(st.x*b+i, st.y*b+j)] = a.At(st.offE + (i + 1) + (j+1)*(b+2))
+			}
+		}
+	}
+	return out
+}
+
+// Tiles returns the tile count (fabric row-major indexing).
+func (p *Program2D) Tiles() int { return len(p.tiles) }
+
+// IterateOff returns the arena offset of tile i's iterate block — the
+// solver engine copies its vectors in and out of the program through the
+// live arena (descriptor re-aliasing, free).
+func (p *Program2D) IterateOff(i int) int { return p.tiles[i].offV }
+
+// InteriorIndex returns the arena index of interior output element e
+// (block row-major) of tile i within the extended output region.
+func (p *Program2D) InteriorIndex(i, e int) int {
+	st := p.tiles[i]
+	b := p.B
+	return st.offE + (e%b + 1) + (e/b+1)*(b+2)
+}
+
+// Partials returns the per-tile Σy² partials of the last Run (fabric
+// row-major), valid only for ReduceSumSq specs. Combine them with
+// cluster.ExactSum32 for a bit-stable global reduction.
+func (p *Program2D) Partials() []float32 { return p.partials }
+
+// Arm prepares every tile for one application without stepping the
+// machine — for lock-step engine-equivalence tests that drive Step
+// themselves. Run calls it implicitly.
+func (p *Program2D) Arm() {
+	for _, st := range p.tiles {
+		p.armTile(st)
+	}
+}
+
+// Done reports whether every tile has completed its application (the
+// predicate Run waits on).
+func (p *Program2D) Done() bool {
+	for _, st := range p.tiles {
+		if !st.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes one application under cycle simulation and returns the
+// cycles it took: every tile's local task, x round, y round — and, for
+// ReduceSumSq specs, the fused dot — have completed and all halo streams
+// are fully drained.
+func (p *Program2D) Run(maxCycles int64) (int64, error) {
+	p.Arm()
+	return p.M.RunUntil(p.Done, maxCycles)
+}
+
+// TileMemoryWords returns the arena words one tile of this program uses:
+// one b² coefficient block per stencil point, the b² iterate and the
+// (b+2)² extended output.
+func (p *Program2D) TileMemoryWords() int {
+	return (len(p.points)+1)*p.B*p.B + (p.B+2)*(p.B+2)
+}
