@@ -10,7 +10,7 @@ SHELL := /bin/bash
 # paper-table benches cheap, 3 iterations per measurement, 6 repetitions
 # so benchgate can take a stable median.
 BENCH_FLAGS := -short -run '^$$' -bench . -benchtime 3x -count 6
-GATE := 'Benchmark(FabricStep|MachineStep|SpMV2DMachine|StencilApply|Cavity2DWSEIteration|MultiWaferIteration|Snapshot|ServiceSolve)'
+GATE := 'Benchmark(FabricStep|MachineStep|SpMV2DMachine|StencilApply|Cavity2DWSEIteration|MultiWaferIteration|Snapshot|ServiceSolve|PaperScaleSolve)'
 
 .PHONY: build test race check lint bench bench-baseline bench-gate fuzz profile
 
@@ -45,10 +45,12 @@ bench:
 
 # Regenerate the committed baseline after an intentional performance
 # change (run on the same class of machine CI uses, or expect the gate's
-# threshold to absorb the difference).
+# threshold to absorb the difference). The sweep output goes to a temp
+# dir so a baseline regen leaves no bench.txt detritus in the tree.
 bench-baseline:
-	$(GO) test $(BENCH_FLAGS) . | tee bench.txt
-	$(GO) run ./cmd/benchgate -input bench.txt -write BENCH_BASELINE.json
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT && \
+	$(GO) test $(BENCH_FLAGS) . | tee "$$tmp/bench.txt" && \
+	$(GO) run ./cmd/benchgate -input "$$tmp/bench.txt" -write BENCH_BASELINE.json
 
 # Compare the current tree against the committed baseline — the same
 # command the bench-regression CI job runs.

@@ -31,6 +31,12 @@
 // The other kernels run single-wafer, or on the host float64 solver
 // with -host (the reference the wafer programs are pinned against).
 //
+// Single-wafer simulations take -engine to pick the core-stepping
+// engine (seq, sharded, batched, fastforward). Every engine produces
+// bit- and cycle-identical results; batched and fastforward are the
+// host-throughput modes that make paper-scale fabrics interactive. See
+// docs/ARCHITECTURE.md, "Execution engines".
+//
 // Typical runs:
 //
 //	wsesim -nx 16 -ny 16 -nz 64 -problem momentum
@@ -92,6 +98,8 @@ func main() {
 		"wafer grid WxH: run the multiwafer cluster backend instead of a single wafer (e.g. 2x1; bicgstab only)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"simulation worker goroutines (>1 shards each fabric on a persistent pool; results are bit-identical)")
+	engine := flag.String("engine", "",
+		"core-stepping engine: seq|sharded|batched|fastforward (empty = automatic; every engine is bit- and cycle-identical — this is a host-throughput knob, single-wafer only)")
 	ckptPath := flag.String("checkpoint", "",
 		"write a crash-recovery checkpoint to this file every -checkpoint-every iterations (single-wafer solves)")
 	ckptEvery := flag.Int("checkpoint-every", 10, "iterations between checkpoints when -checkpoint is set")
@@ -111,22 +119,39 @@ func main() {
 	if *kernel == "bicgstab" && *host {
 		fatalUsage("-host applies to the stencil-compiled kernels; bicgstab always simulates")
 	}
+	if *engine != "" {
+		if *wafers != "" || *host {
+			fatalUsage("-engine selects the single-wafer core-stepping engine; it does not apply to -wafers or -host runs")
+		}
+		// An explicit engine and the sharded worker pool are mutually
+		// exclusive; when -workers was left at its default, defer to the
+		// engine rather than rejecting the combination.
+		workersSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				workersSet = true
+			}
+		})
+		if !workersSet {
+			*workers = 1
+		}
+	}
 
 	switch *kernel {
 	case "bicgstab":
-		runBiCGStab(*nx, *ny, *nz, *iters, *tol, *problem, *wafers, *workers, *ckptPath, *ckptEvery, *resumePath)
+		runBiCGStab(*nx, *ny, *nz, *iters, *tol, *problem, *wafers, *workers, *engine, *ckptPath, *ckptEvery, *resumePath)
 	case "seismic25":
-		runSeismic(*nx, *ny, *nz, *iters, *tol, *shift, *host, *workers, *ckptPath, *ckptEvery, *resumePath)
+		runSeismic(*nx, *ny, *nz, *iters, *tol, *shift, *host, *workers, *engine, *ckptPath, *ckptEvery, *resumePath)
 	case "heat":
 		if *ckptPath != "" || *resumePath != "" {
 			fatalUsage("heat stepping re-solves per step and does not checkpoint")
 		}
-		runHeat3D(*nx, *ny, *nz, *iters, *tol, *lambda, *steps, *boundary, *host, *workers)
+		runHeat3D(*nx, *ny, *nz, *iters, *tol, *lambda, *steps, *boundary, *host, *workers, *engine)
 	case "heat2d":
 		if *ckptPath != "" || *resumePath != "" {
 			fatalUsage("heat stepping re-solves per step and does not checkpoint")
 		}
-		runHeat2D(*nx, *ny, *iters, *tol, *lambda, *steps, *block, *host, *workers)
+		runHeat2D(*nx, *ny, *iters, *tol, *lambda, *steps, *block, *host, *workers, *engine)
 	default:
 		fatalUsage("unknown -kernel %q (want bicgstab, seismic25, heat or heat2d)", *kernel)
 	}
@@ -143,9 +168,9 @@ func check3D(nz int) {
 }
 
 // starOptions assembles core.Options for a stencil-compiled solve.
-func starOptions(iters int, tol float64, host bool, workers int) core.Options {
+func starOptions(iters int, tol float64, host bool, workers int, engine string) core.Options {
 	o := core.Options{Backend: core.Wafer, MaxIter: iters, Tol: tol,
-		Wafer: core.WaferOptions{Workers: workers}}
+		Wafer: core.WaferOptions{Workers: workers, Engine: engine}}
 	if host {
 		o.Backend = core.Local
 		o.Wafer = core.WaferOptions{}
@@ -165,7 +190,7 @@ func reportSolve(res core.Result) {
 	}
 }
 
-func runSeismic(nx, ny, nz, iters int, tol, shift float64, host bool, workers int, ckptPath string, ckptEvery int, resumePath string) {
+func runSeismic(nx, ny, nz, iters int, tol, shift float64, host bool, workers int, engine, ckptPath string, ckptEvery int, resumePath string) {
 	check3D(nz)
 	if shift <= 0 {
 		fatalUsage("-shift must be positive; got %g", shift)
@@ -178,7 +203,7 @@ func runSeismic(nx, ny, nz, iters int, tol, shift float64, host bool, workers in
 		xe[i] = rng.Float64()
 	}
 	p, _ := core.NewStarProblem(op, xe)
-	opts := starOptions(iters, tol, host, workers)
+	opts := starOptions(iters, tol, host, workers, engine)
 	attachCheckpoint(&opts, ckptPath, ckptEvery, resumePath)
 	res, err := core.SolveStar(p, opts)
 	if err != nil {
@@ -196,7 +221,7 @@ func runSeismic(nx, ny, nz, iters int, tol, shift float64, host bool, workers in
 		perfmodel.StencilApply3D{W: nx, H: ny, Z: nz, Widths: op.W}.Cycles())
 }
 
-func runHeat3D(nx, ny, nz, iters int, tol, lambda float64, steps int, boundary string, host bool, workers int) {
+func runHeat3D(nx, ny, nz, iters int, tol, lambda float64, steps int, boundary string, host bool, workers int, engine string) {
 	check3D(nz)
 	var bnd stencil.Boundary
 	switch boundary {
@@ -215,7 +240,7 @@ func runHeat3D(nx, ny, nz, iters int, tol, lambda float64, steps int, boundary s
 	}
 	m := stencil.Mesh{NX: nx, NY: ny, NZ: nz}
 	u0 := randomField(m.N())
-	opts := starOptions(iters, tol, host, workers)
+	opts := starOptions(iters, tol, host, workers, engine)
 	out, err := core.RunHeat3D(nil, m, lambda, bnd, u0, steps, opts)
 	if err != nil {
 		log.Fatal(err)
@@ -229,7 +254,7 @@ func runHeat3D(nx, ny, nz, iters int, tol, lambda float64, steps int, boundary s
 	}
 }
 
-func runHeat2D(nx, ny, iters int, tol, lambda float64, steps, block int, host bool, workers int) {
+func runHeat2D(nx, ny, iters int, tol, lambda float64, steps, block int, host bool, workers int, engine string) {
 	if lambda <= 0 {
 		fatalUsage("-lambda must be positive; got %g", lambda)
 	}
@@ -246,7 +271,7 @@ func runHeat2D(nx, ny, iters int, tol, lambda float64, steps, block int, host bo
 	}
 	m := stencil.Mesh2D{NX: nx, NY: ny}
 	u0 := randomField(m.N())
-	opts := starOptions(iters, tol, host, workers)
+	opts := starOptions(iters, tol, host, workers, engine)
 	out, err := core.RunHeat2D(nil, m, lambda, u0, steps, block, opts)
 	if err != nil {
 		log.Fatal(err)
@@ -321,7 +346,7 @@ func attachCheckpoint(opts *core.Options, ckptPath string, ckptEvery int, resume
 	}
 }
 
-func runBiCGStab(nx, ny, nz, iters int, tol float64, problem, wafersFlag string, workers int, ckptPath string, ckptEvery int, resumePath string) {
+func runBiCGStab(nx, ny, nz, iters int, tol float64, problem, wafersFlag string, workers int, engine, ckptPath string, ckptEvery int, resumePath string) {
 	check3D(nz)
 	m := stencil.Mesh{NX: nx, NY: ny, NZ: nz}
 	var op *stencil.Op7
@@ -343,7 +368,7 @@ func runBiCGStab(nx, ny, nz, iters int, tol float64, problem, wafersFlag string,
 	p, _ := core.NewProblem(op, xe)
 
 	opts := core.Options{Backend: core.Wafer, MaxIter: iters, Tol: tol,
-		Wafer: core.WaferOptions{Workers: workers}}
+		Wafer: core.WaferOptions{Workers: workers, Engine: engine}}
 	if wafersFlag != "" {
 		grid, err := multiwafer.ParseTopology(wafersFlag)
 		if err != nil {

@@ -65,6 +65,25 @@ func Solve(p Problem, o Options) (Result, error) {
 	return SolveContext(nil, p, o)
 }
 
+// waferConfig builds the single-wafer machine configuration from
+// validated options: the CS-1 hardware shape at the given fabric
+// extent, plus the simulation-throughput knobs (sharding workers, or
+// an explicit core-stepping engine).
+func waferConfig(o Options, w, h int) wse.Config {
+	cfg := wse.CS1(w, h)
+	cfg.Workers = o.Wafer.Workers
+	if o.Wafer.Engine != "" {
+		e, err := wse.ParseEngine(o.Wafer.Engine)
+		if err != nil {
+			// Validate already rejected unknown names; this is a
+			// programming error, not an input error.
+			panic(err)
+		}
+		cfg.Engine = e
+	}
+	return cfg
+}
+
 // SolveContext is Solve with cooperative cancellation: every backend
 // polls ctx at iteration boundaries (the only points where a simulated
 // machine is guaranteed idle) and unwinds with an error wrapping
@@ -106,9 +125,7 @@ func SolveContext(ctx context.Context, p Problem, o Options) (Result, error) {
 
 	case Wafer:
 		m := norm.M
-		cfg := wse.CS1(m.NX, m.NY)
-		cfg.Workers = o.Wafer.Workers
-		mach := wse.New(cfg)
+		mach := wse.New(waferConfig(o, m.NX, m.NY))
 		defer mach.Close()
 		w, err := kernels.NewBiCGStabWSE(mach, stencil.NewOp7Half(norm))
 		if err != nil {

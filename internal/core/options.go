@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/multiwafer"
 	"repro/internal/solver"
+	"repro/internal/wse"
 )
 
 // Precision selects the arithmetic of the Local backend.
@@ -132,6 +133,13 @@ type WaferOptions struct {
 	// on a persistent worker pool (clamped to the tile count; see
 	// fabric.Sharded). Simulated results are bit-identical either way.
 	Workers int
+	// Engine names the core-stepping engine ("seq", "sharded",
+	// "batched", "fastforward"; empty means automatic — see
+	// wse.EngineAuto). Every engine is bit- and cycle-identical; the
+	// batched and fast-forward engines are the host-throughput modes
+	// that make paper-scale solves interactive. Mutually exclusive with
+	// Workers > 1, which already selects the sharded engine.
+	Engine string
 	// CheckpointEvery and Checkpoint enable crash-recoverable solves:
 	// every CheckpointEvery iterations the callback receives an encoded
 	// kernels.WSECheckpoint (machine snapshot plus recurrence scalars).
@@ -145,7 +153,7 @@ type WaferOptions struct {
 }
 
 func (w WaferOptions) isZero() bool {
-	return w.Workers == 0 && w.CheckpointEvery == 0 && w.Checkpoint == nil && w.Resume == nil
+	return w.Workers == 0 && w.Engine == "" && w.CheckpointEvery == 0 && w.Checkpoint == nil && w.Resume == nil
 }
 
 // ClusterOptions configures the Cluster backend (the rank-parallel
@@ -229,6 +237,15 @@ func (o Options) Validate() error {
 	case Wafer:
 		if o.Wafer.Workers < 0 {
 			return &OptionError{"Wafer.Workers", fmt.Sprintf("must be >= 0, got %d", o.Wafer.Workers)}
+		}
+		if o.Wafer.Engine != "" {
+			if _, err := wse.ParseEngine(o.Wafer.Engine); err != nil {
+				return &OptionError{"Wafer.Engine", err.Error()}
+			}
+			if o.Wafer.Workers > 1 {
+				return &OptionError{"Wafer.Engine", fmt.Sprintf(
+					"Workers = %d already selects the sharded engine; drop one of the two", o.Wafer.Workers)}
+			}
 		}
 		if o.Wafer.CheckpointEvery < 0 {
 			return &OptionError{"Wafer.CheckpointEvery", fmt.Sprintf("must be >= 0, got %d", o.Wafer.CheckpointEvery)}

@@ -74,9 +74,7 @@ func SolveStarContext(ctx context.Context, p StarProblem, o Options) (Result, er
 
 	case Wafer:
 		m := norm.M
-		cfg := wse.CS1(m.NX, m.NY)
-		cfg.Workers = o.Wafer.Workers
-		mach := wse.New(cfg)
+		mach := wse.New(waferConfig(o, m.NX, m.NY))
 		defer mach.Close()
 		be := kernels.NewWaferStarBackend(mach, starSpec(norm))
 		sopts.CheckpointEvery = o.Wafer.CheckpointEvery
@@ -189,9 +187,7 @@ func RunHeat2D(ctx context.Context, m stencil.Mesh2D, lambda float64, u0 []float
 		if m.NX%block != 0 || m.NY%block != 0 {
 			return nil, fmt.Errorf("core: mesh %d×%d does not tile into %d×%d blocks", m.NX, m.NY, block, block)
 		}
-		cfg := wse.CS1(m.NX/block, m.NY/block)
-		cfg.Workers = o.Wafer.Workers
-		mach := wse.New(cfg)
+		mach := wse.New(waferConfig(o, m.NX/block, m.NY/block))
 		defer mach.Close()
 		wafer = kernels.NewWafer2DBackend(mach, block)
 		be = wafer

@@ -141,9 +141,23 @@ func (w Word) UnpackF16() (lo, hi fp16.Float16) {
 // loops of one shard walk contiguous memory. The ring arithmetic uses
 // conditional wrap instead of modulo: push/pop are the two hottest
 // operations of the whole simulator.
+//
+// A queue that backs a router's active route entry additionally
+// maintains one bit of its router's occupancy mask (router.occ): occ is
+// the back-pointer and occBit the entry's bit, assigned by SetRoute.
+// push sets the bit on the empty→non-empty edge and pop clears it on
+// the non-empty→empty edge, so the claim phase can skip a router's
+// empty entries without touching them. Core receive queues (and queues
+// of routers with more than 64 entries) keep occ == nil. The occupancy
+// writes inherit the queues' shard-ownership discipline — a queue is
+// popped only by the shard owning its router and pushed only by the
+// shard owning its destination tile — so they are race-free under the
+// sharded engine.
 type queue struct {
 	buf        []uint32
 	head, size int32
+	occ        *uint64
+	occBit     uint64
 }
 
 func (q *queue) full() bool  { return q.size == int32(len(q.buf)) }
@@ -159,6 +173,9 @@ func (q *queue) push(w uint32) bool {
 		i -= n
 	}
 	q.buf[i] = w
+	if q.size == 0 && q.occ != nil {
+		*q.occ |= q.occBit
+	}
 	q.size++
 	return true
 }
@@ -175,6 +192,9 @@ func (q *queue) pop() uint32 {
 		q.head = 0
 	}
 	q.size--
+	if q.size == 0 && q.occ != nil {
+		*q.occ &^= q.occBit
+	}
 	return w
 }
 
@@ -209,18 +229,42 @@ func (en *routeEntry) setOuts(outs PortMask) {
 	en.dst = nil // force re-resolution
 }
 
-// router holds the static routes and input queues of one tile.
+// router holds the claim-phase-hot state of one tile's router. The
+// claim walk touches every hot router every cycle, so this struct is
+// kept small (one cache line) and dense; the cold (port, color) lookup
+// tables live in the parallel routerTables array (Fabric.tables),
+// touched only on configuration, injection, extraction and snapshots.
 type router struct {
+	// active lists the configured (in, color) pairs with their cached
+	// routing, to bound scanning in the claim phase.
+	active []routeEntry
+	// occ has bit i set while active[i].q is non-empty (maintained by
+	// queue.push/pop through back-pointers), so the claim phase scans
+	// only occupied entries. Valid only while !wide.
+	occ uint64
+	// rr is the output arbitration rotation counter. Only one rotation
+	// slot exists in practice — every output of a router arbitrates off
+	// the same walk — and the raw count is architectural state (hashed
+	// by Fingerprint, captured by snapshots).
+	rr int64
+	// rrIdx caches rr % len(active) so the per-visit claim scan avoids
+	// an integer divide; it is kept in step with rr by the claim phase
+	// and recomputed whenever len(active) or rr changes elsewhere.
+	rrIdx int32
+	// wide marks a router with more than 64 active entries, for which
+	// occ cannot cover every entry; claim falls back to the full scan.
+	wide bool
+}
+
+// routerTables holds one tile's static routing tables and input queue
+// pointers — the configuration-time and edge-of-fabric state split out
+// of the hot router struct.
+type routerTables struct {
 	// routes[in][color] is the output port set; zero means "no route",
 	// which the simulator reports as a configuration error on arrival.
 	routes [NumPorts][MaxColors]PortMask
 	// queues[in][color] holds words that arrived on (in, color).
 	queues [NumPorts][MaxColors]*queue
-	// active lists the configured (in, color) pairs with their cached
-	// routing, to bound scanning in the claim phase.
-	active []routeEntry
-	// arbitration rotation per output port
-	rr [NumPorts]int
 }
 
 // Config sizes a fabric.
@@ -251,6 +295,7 @@ type Fabric struct {
 	cfg     Config
 	W, H    int
 	routers []router
+	tables  []routerTables
 	// core receive buffers, per tile per color
 	rx [][MaxColors]*queue
 
@@ -262,7 +307,7 @@ type Fabric struct {
 	hotLists [][]int
 	shardOf  []uint16
 	// rxWake holds the registered rx-delivery callbacks; see OnRxDelivery.
-	rxWake []func(tile int)
+	rxWake []func(tile int, c Color)
 	// arenas[s] backs the queue storage of every tile in shard s; only
 	// shard s allocates from it during stepping.
 	arenas []shardArena
@@ -288,6 +333,7 @@ func New(cfg Config) *Fabric {
 	f := &Fabric{
 		cfg: cfg, W: cfg.W, H: cfg.H,
 		routers: make([]router, cfg.W*cfg.H),
+		tables:  make([]routerTables, cfg.W*cfg.H),
 		rx:      make([][MaxColors]*queue, cfg.W*cfg.H),
 		hot:     make([]bool, cfg.W*cfg.H),
 	}
@@ -326,17 +372,25 @@ func (f *Fabric) RunSharded(fn func(lo, hi int)) { f.stepper.runShards(fn) }
 func (f *Fabric) ShardRanges() [][2]int { return f.stepper.shards() }
 
 // rxTile encodes a core rx delivery destination for stagedPush.tile and
-// routeEntry.dstTile: negative, recoverable with rxTileIndex.
-func rxTile(ti int) int32 { return -int32(ti) - 1 }
+// routeEntry.dstTile: negative, carrying both the tile index and the
+// delivered color (so the rx-delivery wake can report which virtual
+// channel the word landed on), recoverable with rxTileIndex/rxColor.
+func rxTile(ti int, c Color) int32 { return -int32(ti*MaxColors+int(c)) - 1 }
 
-// rxTileIndex inverts rxTile.
-func rxTileIndex(enc int32) int { return int(-enc) - 1 }
+// rxTileIndex recovers the tile index from an rxTile encoding.
+func rxTileIndex(enc int32) int { return int(-enc-1) / MaxColors }
+
+// rxColor recovers the delivered color from an rxTile encoding.
+func rxColor(enc int32) Color { return Color(int(-enc-1) % MaxColors) }
 
 // OnRxDelivery registers fn to be called every time a word is committed
-// into a core receive buffer, with the destination tile index. This is
-// the event edge that lets per-tile actors (the wse core scheduler, the
-// kernels' host-side state machines) park while idle instead of polling
-// their receive buffers every cycle.
+// into a core receive buffer, with the destination tile index and the
+// color it arrived on. This is the event edge that lets per-tile actors
+// (the wse core scheduler, the kernels' host-side state machines) park
+// while idle instead of polling their receive buffers every cycle; the
+// color lets an actor ignore deliveries on channels it does not
+// consume, so independent subsystems sharing the fabric do not pollute
+// each other's worklists.
 //
 // Concurrency contract: with a sharded engine the callback runs on the
 // worker goroutine of the shard that owns the tile, during the commit
@@ -345,7 +399,7 @@ func rxTileIndex(enc int32) int { return int(-enc) - 1 }
 // not call back into the fabric. Callbacks cannot be unregistered; a
 // long-lived fabric should multiplex one callback rather than stacking
 // registrations.
-func (f *Fabric) OnRxDelivery(fn func(tile int)) { f.rxWake = append(f.rxWake, fn) }
+func (f *Fabric) OnRxDelivery(fn func(tile int, c Color)) { f.rxWake = append(f.rxWake, fn) }
 
 // ShardOf returns the index of the engine shard that owns the tile.
 // Per-tile actors stepped concurrently (wse.Machine's core worklists)
@@ -375,9 +429,10 @@ func (f *Fabric) Moves() int64 { return f.moves }
 func (f *Fabric) SetRoute(at Coord, in Port, c Color, outs PortMask) {
 	ti := f.Index(at)
 	r := &f.routers[ti]
-	r.routes[in][c] = outs
-	if r.queues[in][c] == nil {
-		r.queues[in][c] = f.arenas[f.shardOf[ti]].newQueue(f.cfg.QueueDepth)
+	tb := &f.tables[ti]
+	tb.routes[in][c] = outs
+	if tb.queues[in][c] == nil {
+		tb.queues[in][c] = f.arenas[f.shardOf[ti]].newQueue(f.cfg.QueueDepth)
 	}
 	for i := range r.active {
 		if r.active[i].in == in && r.active[i].c == c {
@@ -388,9 +443,24 @@ func (f *Fabric) SetRoute(at Coord, in Port, c Color, outs PortMask) {
 	if outs == 0 {
 		return
 	}
-	en := routeEntry{q: r.queues[in][c], in: in, c: c}
+	en := routeEntry{q: tb.queues[in][c], in: in, c: c}
 	en.setOuts(outs)
 	r.active = append(r.active, en)
+	if i := len(r.active) - 1; i < 64 && !r.wide {
+		en.q.occ, en.q.occBit = &r.occ, 1<<uint(i)
+		if !en.q.empty() {
+			r.occ |= en.q.occBit
+		}
+	} else {
+		// Too many entries for one occupancy word: disable the mask for
+		// this router and let claim fall back to scanning every entry.
+		r.wide = true
+		for j := range r.active {
+			r.active[j].q.occ = nil
+		}
+		r.occ = 0
+	}
+	r.rrIdx = int32(r.rr % int64(len(r.active)))
 }
 
 // resolveSingle fills en's cached destination for the single-output
@@ -399,7 +469,7 @@ func (f *Fabric) SetRoute(at Coord, in Port, c Color, outs PortMask) {
 // claim phase of the shard that owns the tile.
 func (f *Fabric) resolveSingle(ti int, en *routeEntry) *queue {
 	if en.sport == Ramp {
-		en.dst, en.dstTile, en.dstShard = f.rxQueue(ti, en.c), rxTile(ti), f.shardOf[ti]
+		en.dst, en.dstTile, en.dstShard = f.rxQueue(ti, en.c), rxTile(ti, en.c), f.shardOf[ti]
 		return en.dst
 	}
 	at := f.CoordOf(ti)
@@ -411,7 +481,7 @@ func (f *Fabric) resolveSingle(ti int, en *routeEntry) *queue {
 		panic(fmt.Sprintf("fabric: route off edge at %v port %v", at, en.sport))
 	}
 	nbi := f.Index(nb)
-	nq := f.routers[nbi].queues[en.sport.Opposite()][en.c]
+	nq := f.tables[nbi].queues[en.sport.Opposite()][en.c]
 	if nq == nil {
 		panic(fmt.Sprintf("fabric: no route configured at %v for arrivals on (%v,%d)", nb, en.sport.Opposite(), en.c))
 	}
@@ -421,7 +491,7 @@ func (f *Fabric) resolveSingle(ti int, en *routeEntry) *queue {
 
 // Route returns the configured output mask for (in, color) at tile at.
 func (f *Fabric) Route(at Coord, in Port, c Color) PortMask {
-	return f.routers[f.Index(at)].routes[in][c]
+	return f.tables[f.Index(at)].routes[in][c]
 }
 
 // Send injects one word from the core of tile at into its router's ramp
@@ -431,11 +501,11 @@ func (f *Fabric) Route(at Coord, in Port, c Color) PortMask {
 // calling Send at most once per cycle per tile.
 func (f *Fabric) Send(at Coord, w Word) bool {
 	i := f.Index(at)
-	r := &f.routers[i]
-	if r.routes[Ramp][w.Color] == 0 {
+	tb := &f.tables[i]
+	if tb.routes[Ramp][w.Color] == 0 {
 		panic(fmt.Sprintf("fabric: tile %v has no route for injected color %d", at, w.Color))
 	}
-	q := r.queues[Ramp][w.Color]
+	q := tb.queues[Ramp][w.Color]
 	if q == nil || !q.push(w.Bits) {
 		return false
 	}
@@ -494,7 +564,7 @@ func (f *Fabric) Step() {
 // RouterQueueLen returns the occupancy of the (in, color) input queue of
 // tile at's router, for tests asserting engine equivalence.
 func (f *Fabric) RouterQueueLen(at Coord, in Port, c Color) int {
-	q := f.routers[f.Index(at)].queues[in][c]
+	q := f.tables[f.Index(at)].queues[in][c]
 	if q == nil {
 		return 0
 	}
@@ -532,11 +602,11 @@ func (f *Fabric) Fingerprint() uint64 {
 	mix(uint64(f.cycle))
 	mix(uint64(f.moves))
 	for i := range f.routers {
-		r := &f.routers[i]
-		mix(uint64(r.rr[0]))
+		mix(uint64(f.routers[i].rr))
+		tb := &f.tables[i]
 		for in := Port(0); in < NumPorts; in++ {
 			for c := 0; c < MaxColors; c++ {
-				mixQueue(uint64(i)<<16|uint64(in)<<8|uint64(c), r.queues[in][c])
+				mixQueue(uint64(i)<<16|uint64(in)<<8|uint64(c), tb.queues[in][c])
 			}
 		}
 		for c := 0; c < MaxColors; c++ {

@@ -272,7 +272,11 @@ func TestRxDeliveryCallback(t *testing.T) {
 	f.SetRoute(Coord{2, 0}, West, 5, Mask(Ramp))
 
 	var got []int
-	f.OnRxDelivery(func(tile int) { got = append(got, tile) })
+	colors := map[int]Color{}
+	f.OnRxDelivery(func(tile int, c Color) {
+		got = append(got, tile)
+		colors[tile] = c
+	})
 	if s := f.ShardOf(3); s != 0 {
 		t.Fatalf("ShardOf(3) = %d on a sequential fabric, want 0", s)
 	}
@@ -289,5 +293,8 @@ func TestRxDeliveryCallback(t *testing.T) {
 	}
 	if len(got) != 3 || counts[3] != want[3] || counts[1] != want[1] || counts[2] != want[2] {
 		t.Errorf("rx callbacks = %v, want one delivery each at tiles 1, 2, 3", got)
+	}
+	if colors[3] != 3 || colors[1] != 5 || colors[2] != 5 {
+		t.Errorf("rx callback colors = %v, want color 3 at tile 3 and color 5 at tiles 1, 2", colors)
 	}
 }

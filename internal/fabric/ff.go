@@ -1,0 +1,110 @@
+package fabric
+
+import "fmt"
+
+// This file is the fabric's fast-forward support surface: the
+// introspection the analytic phase replays need (entry layouts,
+// arbitration counters, the hot set) and the two ways a replayed phase
+// is applied back — dead-cycle advancement (AdvanceIdle) and full
+// replay application (ApplyReplay). All of it is host-tooling around
+// the same architectural state the steppers maintain; none of it can
+// express a state a cycle-by-cycle run could not reach, and the
+// preconditions panic rather than silently diverge.
+
+// RouteKey identifies one configured route entry of a router: the
+// input port and color it matches.
+type RouteKey struct {
+	In Port
+	C  Color
+}
+
+// EntryLayout returns tile's configured route entries in arbitration
+// order — the first-configured order the claim rotation walks, which
+// is part of the simulated state. Analytic phase replays
+// (perfmodel's exact stencil-exchange model) mirror this layout so
+// their rotation decisions match the engine's entry for entry.
+func (f *Fabric) EntryLayout(tile int) []RouteKey {
+	r := &f.routers[tile]
+	out := make([]RouteKey, len(r.active))
+	for i := range r.active {
+		out[i] = RouteKey{In: r.active[i].in, C: r.active[i].c}
+	}
+	return out
+}
+
+// RR returns tile's arbitration rotation counter.
+func (f *Fabric) RR(tile int) int64 { return f.routers[tile].rr }
+
+// HotCount returns the number of tiles currently marked hot — tiles
+// the next Step's claim phase will visit (and charge one arbitration
+// rotation each).
+func (f *Fabric) HotCount() int {
+	n := 0
+	for _, l := range f.hotLists {
+		n += len(l)
+	}
+	return n
+}
+
+// HotTiles returns the currently hot tiles in shard-list order.
+func (f *Fabric) HotTiles() []int {
+	out := make([]int, 0, f.HotCount())
+	for _, l := range f.hotLists {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// AdvanceIdle advances the cycle counter by n dead cycles. It is the
+// fast-forward image of n Step calls on a fabric that provably cannot
+// change: no words anywhere and no hot tiles (a hot tile would charge
+// an arbitration rotation on the first cycle). Panics if either holds
+// work, since skipping it would diverge from a stepped run.
+func (f *Fabric) AdvanceIdle(n int64) {
+	if n == 0 {
+		return
+	}
+	if n < 0 {
+		panic("fabric: AdvanceIdle of negative cycles")
+	}
+	if !f.Quiescent() || f.HotCount() > 0 {
+		panic("fabric: AdvanceIdle on a non-idle fabric")
+	}
+	f.cycle += n
+}
+
+// ApplyReplay applies the outcome of an analytically replayed
+// communication phase: the cycle and move counters advance by the
+// replay's totals, every router's arbitration counter is set to its
+// replayed final value (rr[tile], len = tile count), and the hot set
+// is replaced by the replay's final hot set. The fabric must be
+// quiescent before and is quiescent after — replays model phases whose
+// traffic fully drains — so queue state needs no touching. Callers are
+// responsible for the replay being exact; the equivalence tests pin
+// that end to end.
+func (f *Fabric) ApplyReplay(cycles, moves int64, rr []int64, hot []int) {
+	if !f.Quiescent() {
+		panic("fabric: ApplyReplay on a non-quiescent fabric")
+	}
+	if len(rr) != len(f.routers) {
+		panic(fmt.Sprintf("fabric: ApplyReplay rr length %d, want %d", len(rr), len(f.routers)))
+	}
+	f.cycle += cycles
+	f.moves += moves
+	for i := range f.routers {
+		r := &f.routers[i]
+		r.rr = rr[i]
+		if n := len(r.active); n > 0 {
+			r.rrIdx = int32(r.rr % int64(n))
+		}
+	}
+	for s := range f.hotLists {
+		for _, ti := range f.hotLists[s] {
+			f.hot[ti] = false
+		}
+		f.hotLists[s] = f.hotLists[s][:0]
+	}
+	for _, ti := range hot {
+		f.markHot(ti)
+	}
+}

@@ -52,11 +52,11 @@ func (f *Fabric) CaptureState() *State {
 		s.Queues = append(s.Queues, qs)
 	}
 	for i := range f.routers {
-		r := &f.routers[i]
-		s.RR[i] = int64(r.rr[0])
+		s.RR[i] = f.routers[i].rr
+		tb := &f.tables[i]
 		for in := Port(0); in < NumPorts; in++ {
 			for c := 0; c < MaxColors; c++ {
-				snapQueue(i, uint8(in), uint8(c), r.queues[in][c])
+				snapQueue(i, uint8(in), uint8(c), tb.queues[in][c])
 			}
 		}
 		for c := 0; c < MaxColors; c++ {
@@ -87,10 +87,15 @@ func (f *Fabric) RestoreState(s *State) error {
 	// Reset live state.
 	for i := range f.routers {
 		r := &f.routers[i]
-		r.rr = [NumPorts]int{0: int(s.RR[i])}
+		r.rr = s.RR[i]
+		if n := len(r.active); n > 0 {
+			r.rrIdx = int32(r.rr % int64(n))
+		}
+		r.occ = 0 // queue refill below re-sets bits via push
+		tb := &f.tables[i]
 		for in := Port(0); in < NumPorts; in++ {
 			for c := 0; c < MaxColors; c++ {
-				if q := r.queues[in][c]; q != nil {
+				if q := tb.queues[in][c]; q != nil {
 					q.head, q.size = 0, 0
 				}
 			}
@@ -121,7 +126,7 @@ func (f *Fabric) RestoreState(s *State) error {
 		if qs.In == uint8(NumPorts) {
 			q = f.rxQueue(ti, Color(qs.Color))
 		} else {
-			q = f.routers[ti].queues[qs.In][qs.Color]
+			q = f.tables[ti].queues[qs.In][qs.Color]
 			if q == nil {
 				return fmt.Errorf("fabric: snapshot has words on (%v,%d) at tile %d but no such route is configured",
 					Port(qs.In), qs.Color, ti)

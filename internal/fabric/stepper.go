@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 )
 
@@ -255,45 +256,77 @@ func (e *engine) claim(s int) {
 		if n == 0 {
 			continue
 		}
+		idx := int(r.rrIdx)
+		r.rr++
+		r.rrIdx++
+		if int(r.rrIdx) == n {
+			r.rrIdx = 0
+		}
+		if !r.wide {
+			// Occupancy-mask path: the claim scan visits only entries whose
+			// input queue is non-empty (r.occ bit set), in exactly the
+			// rotation order of the full scan — indices idx..n-1 then
+			// 0..idx-1. The mask is pre-cycle state (claim pops nothing), so
+			// claim decisions are unchanged; only the skipping of empty
+			// entries is faster. hasWords of the full scan is occ != 0.
+			occ := r.occ
+			if occ == 0 {
+				continue
+			}
+			var outClaimed PortMask
+			for m := occ >> uint(idx); m != 0; m &= m - 1 {
+				e.claimEntry(s, ti, &r.active[idx+bits.TrailingZeros64(m)], &outClaimed)
+			}
+			for m := occ & (1<<uint(idx) - 1); m != 0; m &= m - 1 {
+				e.claimEntry(s, ti, &r.active[bits.TrailingZeros64(m)], &outClaimed)
+			}
+			st.stillHot = append(st.stillHot, ti)
+			continue
+		}
 		var outClaimed PortMask
 		hasWords := false
-		idx := r.rr[0] % n
 		for k := 0; k < n; k++ {
 			en := &r.active[idx]
 			idx++
 			if idx == n {
 				idx = 0
 			}
-			q := en.q
-			if q.size == 0 {
+			if en.q.size == 0 {
 				continue
 			}
 			hasWords = true
-			if en.single {
-				p := en.sport
-				if outClaimed.Has(p) {
-					continue
-				}
-				dst := en.dst
-				if dst == nil {
-					dst = f.resolveSingle(ti, en)
-				}
-				if dst.size == int32(len(dst.buf)) {
-					continue // destination full; word waits
-				}
-				outClaimed |= 1 << p
-				st.pops = append(st.pops, q)
-				st.pushes[en.dstShard] = append(st.pushes[en.dstShard],
-					stagedPush{q: dst, tile: en.dstTile, bits: q.buf[q.head]})
-				continue
-			}
-			e.claimMulticast(s, ti, en, &outClaimed)
+			e.claimEntry(s, ti, en, &outClaimed)
 		}
-		r.rr[0]++
 		if hasWords {
 			st.stillHot = append(st.stillHot, ti)
 		}
 	}
+}
+
+// claimEntry claims the head word of one non-empty route entry: the
+// cached single-output fast path, or the generic multicast path.
+func (e *engine) claimEntry(s, ti int, en *routeEntry, outClaimed *PortMask) {
+	if en.single {
+		p := en.sport
+		if outClaimed.Has(p) {
+			return
+		}
+		dst := en.dst
+		if dst == nil {
+			dst = e.f.resolveSingle(ti, en)
+		}
+		if dst.size == int32(len(dst.buf)) {
+			return // destination full; word waits
+		}
+		*outClaimed |= 1 << p
+		st := &e.sh[s]
+		q := en.q
+		st.pops = append(st.pops, q)
+		st.pushes[en.dstShard] = append(st.pushes[en.dstShard],
+			stagedPush{q: dst, tile: en.dstTile, bits: q.buf[q.head]})
+		return
+	}
+	e.claimMulticast(s, ti, en, outClaimed)
 }
 
 // claimMulticast is the generic claim path: all-or-nothing fanout of
@@ -324,7 +357,7 @@ func (e *engine) claimMulticast(s, ti int, en *routeEntry, outClaimed *PortMask)
 				ok = false
 				continue
 			}
-			dst[p], dtile[p] = rq, rxTile(ti)
+			dst[p], dtile[p] = rq, rxTile(ti, en.c)
 			continue
 		}
 		dx, dy := p.Delta()
@@ -335,7 +368,7 @@ func (e *engine) claimMulticast(s, ti int, en *routeEntry, outClaimed *PortMask)
 			panic(fmt.Sprintf("fabric: route off edge at %v port %v", at, p))
 		}
 		nbi := f.Index(nb)
-		nq := f.routers[nbi].queues[p.Opposite()][en.c]
+		nq := f.tables[nbi].queues[p.Opposite()][en.c]
 		if nq == nil {
 			panic(fmt.Sprintf("fabric: no route configured at %v for arrivals on (%v,%d)", nb, p.Opposite(), en.c))
 		}
@@ -382,7 +415,7 @@ func (e *engine) commit(s int) {
 			if ps.tile < 0 {
 				ps.q.push(ps.bits)
 				for _, fn := range f.rxWake {
-					fn(rxTileIndex(ps.tile))
+					fn(rxTileIndex(ps.tile), rxColor(ps.tile))
 				}
 				continue
 			}

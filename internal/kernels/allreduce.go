@@ -39,6 +39,7 @@ type AllReduce struct {
 	pending   [][]int32
 	queued    []bool
 	remaining int
+	start     int64 // fabric cycle at Begin, for Result's latency
 }
 
 type arTile struct {
@@ -258,10 +259,16 @@ func NewAllReduce(m *wse.Machine, base fabric.Color) (*AllReduce, error) {
 	}
 	ar.pending = make([][]int32, len(f.ShardRanges()))
 	ar.queued = make([]bool, w*h)
-	// Any word landing at a tile's ramp (reduction operand, quad word,
-	// broadcast result) re-lists the tile. The callback runs on the
-	// shard that owns the tile, so the per-shard append is race-free.
-	f.OnRxDelivery(ar.wakeTile)
+	// Any word landing at a tile's ramp on one of the six AllReduce
+	// colors (reduction operand, quad word, broadcast result) re-lists
+	// the tile; deliveries for other subsystems sharing the fabric are
+	// ignored. The callback runs on the shard that owns the tile, so the
+	// per-shard append is race-free.
+	f.OnRxDelivery(func(ti int, c fabric.Color) {
+		if c >= ar.blue && c <= ar.red {
+			ar.wakeTile(ti)
+		}
+	})
 	return ar, nil
 }
 
@@ -309,9 +316,26 @@ type AllReduceResult struct {
 // its own ramp, so the stepping order — and therefore the engine choice
 // — does not change the simulated state.
 func (ar *AllReduce) Run(values []float32, maxCycles int64) (AllReduceResult, error) {
+	if err := ar.Begin(values); err != nil {
+		return AllReduceResult{}, err
+	}
+	for cyc := int64(0); cyc < maxCycles; cyc++ {
+		if ar.Tick() {
+			return ar.Result(), nil
+		}
+		ar.F.Step()
+	}
+	return AllReduceResult{}, fmt.Errorf("kernels: allreduce did not finish in %d cycles", maxCycles)
+}
+
+// Begin resets the host actors for a new reduction of values, without
+// stepping the fabric. Run is Begin followed by a Tick/Step loop; the
+// difftest lockstep harness drives the same loop with a fingerprint
+// comparison between cycles.
+func (ar *AllReduce) Begin(values []float32) error {
 	w, h := ar.F.W, ar.F.H
 	if len(values) != w*h {
-		return AllReduceResult{}, fmt.Errorf("kernels: allreduce needs %d values, got %d", w*h, len(values))
+		return fmt.Errorf("kernels: allreduce needs %d values, got %d", w*h, len(values))
 	}
 	for i, t := range ar.tiles {
 		t.val = values[i]
@@ -334,41 +358,49 @@ func (ar *AllReduce) Run(values []float32, maxCycles int64) (AllReduceResult, er
 		ar.wakeTile(i)
 	}
 	ar.remaining = len(ar.tiles)
+	ar.start = ar.F.Cycle()
+	return nil
+}
 
-	start := ar.F.Cycle()
-	for cyc := int64(0); cyc < maxCycles; cyc++ {
-		for s := range ar.pending {
-			list := ar.pending[s]
-			keep := list[:0]
-			for _, ti := range list {
-				t := ar.tiles[ti]
-				had := t.haveResult
-				ar.stepTile(t)
-				if t.haveResult && !had {
-					ar.remaining--
-				}
-				if ar.tileActionable(t) {
-					keep = append(keep, ti)
-				} else {
-					ar.queued[ti] = false
-				}
+// Tick runs every actionable host actor once for the current cycle and
+// reports whether all tiles hold the broadcast result. The caller steps
+// the fabric between Ticks (Run does; so does the difftest harness, via
+// the owning machine so cycle counts stay aligned with core stepping).
+func (ar *AllReduce) Tick() bool {
+	for s := range ar.pending {
+		list := ar.pending[s]
+		keep := list[:0]
+		for _, ti := range list {
+			t := ar.tiles[ti]
+			had := t.haveResult
+			ar.stepTile(t)
+			if t.haveResult && !had {
+				ar.remaining--
 			}
-			ar.pending[s] = keep
+			if ar.tileActionable(t) {
+				keep = append(keep, ti)
+			} else {
+				ar.queued[ti] = false
+			}
 		}
-		if ar.remaining == 0 {
-			res := AllReduceResult{
-				Sum:     ar.tiles[ar.cy0*w+ar.cx0].result,
-				Cycles:  ar.F.Cycle() - start,
-				PerTile: make([]float32, len(ar.tiles)),
-			}
-			for i, t := range ar.tiles {
-				res.PerTile[i] = t.result
-			}
-			return res, nil
-		}
-		ar.F.Step()
+		ar.pending[s] = keep
 	}
-	return AllReduceResult{}, fmt.Errorf("kernels: allreduce did not finish in %d cycles", maxCycles)
+	return ar.remaining == 0
+}
+
+// Result assembles the finished reduction (valid once Tick returned
+// true): the root sum, latency in cycles since Begin, and every tile's
+// broadcast copy.
+func (ar *AllReduce) Result() AllReduceResult {
+	res := AllReduceResult{
+		Sum:     ar.tiles[ar.cy0*ar.F.W+ar.cx0].result,
+		Cycles:  ar.F.Cycle() - ar.start,
+		PerTile: make([]float32, len(ar.tiles)),
+	}
+	for i, t := range ar.tiles {
+		res.PerTile[i] = t.result
+	}
+	return res
 }
 
 // tileActionable reports whether the tile can make progress without a

@@ -41,16 +41,35 @@ func TestCheckpointResume(t *testing.T) {
 		{"listing1", func(mach *wse.Machine) (*BiCGStabWSE, error) { return NewBiCGStabWSE(mach, h) }},
 		{"halo", func(mach *wse.Machine) (*BiCGStabWSE, error) { return NewBiCGStabWSEHalo(mach, h) }},
 	}
-	newMach := func(workers int) *wse.Machine {
+	newMach := func(e wse.Engine) *wse.Machine {
 		cfg := wse.CS1(m.NX, m.NY)
-		cfg.Workers = workers
+		cfg.Engine = e
+		if e == wse.EngineSharded {
+			cfg.Workers = 4
+		}
 		return wse.New(cfg)
+	}
+
+	// The snapshot cross-engine matrix: checkpoints cut mid-solve under
+	// one stepping engine are restored and finished under others, and
+	// every combination must land on the uninterrupted reference solve
+	// bit for bit — residual history, solution, cycle account, final
+	// machine fingerprint. The batched capture gets the full resume
+	// matrix; the sequential capture pins the reverse direction
+	// (snapshot under sequential, restore under batched).
+	captures := []struct {
+		eng    wse.Engine
+		resume []wse.Engine
+	}{
+		{wse.EngineSequential, []wse.Engine{wse.EngineSharded, wse.EngineBatched}},
+		{wse.EngineBatched, []wse.Engine{wse.EngineSequential, wse.EngineSharded,
+			wse.EngineBatched, wse.EngineFastForward}},
 	}
 
 	for _, eng := range engines {
 		t.Run(eng.name, func(t *testing.T) {
 			// Uninterrupted reference solve.
-			mach0 := newMach(1)
+			mach0 := newMach(wse.EngineSequential)
 			defer mach0.Close()
 			w0, err := eng.mk(mach0)
 			if err != nil {
@@ -67,53 +86,59 @@ func TestCheckpointResume(t *testing.T) {
 				t.Fatalf("reference history has %d entries, want %d", len(st0.History), iters)
 			}
 
-			// Checkpointing must be an observation, not a perturbation: the
-			// same solve with checkpoints enabled matches the reference.
-			mach1 := newMach(1)
-			defer mach1.Close()
-			w1, err := eng.mk(mach1)
-			if err != nil {
-				t.Fatal(err)
-			}
-			var blobs [][]byte
-			x1, st1, err := w1.Solve(b16, WSEOptions{MaxIter: iters, CheckpointEvery: every,
-				Checkpoint: func(b []byte) error {
-					blobs = append(blobs, append([]byte{}, b...))
-					return nil
-				}})
-			if err != nil {
-				t.Fatal(err)
-			}
-			if want := (iters - 1) / every; len(blobs) != want {
-				t.Fatalf("captured %d checkpoints, want %d", len(blobs), want)
-			}
-			compareRuns(t, "checkpointed", x1, st1, x0, st0)
-			if f0, f1 := mach0.Fingerprint(), mach1.Fingerprint(); f0 != f1 {
-				t.Errorf("checkpointing perturbed the machine: fingerprint %#x vs %#x", f1, f0)
-			}
+			for _, cap := range captures {
+				t.Run("cap_"+cap.eng.String(), func(t *testing.T) {
+					// Checkpointing must be an observation, not a perturbation:
+					// the same solve with checkpoints enabled matches the
+					// reference — which, for a batched-engine capture, also
+					// makes the whole solve an engine-equivalence check.
+					mach1 := newMach(cap.eng)
+					defer mach1.Close()
+					w1, err := eng.mk(mach1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var blobs [][]byte
+					x1, st1, err := w1.Solve(b16, WSEOptions{MaxIter: iters, CheckpointEvery: every,
+						Checkpoint: func(b []byte) error {
+							blobs = append(blobs, append([]byte{}, b...))
+							return nil
+						}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want := (iters - 1) / every; len(blobs) != want {
+						t.Fatalf("captured %d checkpoints, want %d", len(blobs), want)
+					}
+					compareRuns(t, "checkpointed", x1, st1, x0, st0)
+					if f0, f1 := mach0.Fingerprint(), mach1.Fingerprint(); f0 != f1 {
+						t.Errorf("checkpointing perturbed the machine: fingerprint %#x vs %#x", f1, f0)
+					}
 
-			// Crash and resume: every captured checkpoint, restored onto a
-			// fresh machine under both stepping engines, must finish the
-			// solve bit-identically.
-			for bi, blob := range blobs {
-				for _, workers := range []int{1, 4} {
-					t.Run(fmt.Sprintf("blob%d_w%d", bi, workers), func(t *testing.T) {
-						mach2 := newMach(workers)
-						defer mach2.Close()
-						w2, err := eng.mk(mach2)
-						if err != nil {
-							t.Fatal(err)
+					// Crash and resume: every captured checkpoint, restored
+					// onto a fresh machine under every resume engine, must
+					// finish the solve bit-identically.
+					for bi, blob := range blobs {
+						for _, re := range cap.resume {
+							t.Run(fmt.Sprintf("blob%d_%s", bi, re), func(t *testing.T) {
+								mach2 := newMach(re)
+								defer mach2.Close()
+								w2, err := eng.mk(mach2)
+								if err != nil {
+									t.Fatal(err)
+								}
+								x2, st2, err := w2.Solve(b16, WSEOptions{MaxIter: iters, Resume: blob})
+								if err != nil {
+									t.Fatal(err)
+								}
+								compareRuns(t, "resumed", x2, st2, x0, st0)
+								if f0, f2 := mach0.Fingerprint(), mach2.Fingerprint(); f0 != f2 {
+									t.Errorf("resumed machine fingerprint %#x, uninterrupted solve has %#x", f2, f0)
+								}
+							})
 						}
-						x2, st2, err := w2.Solve(b16, WSEOptions{MaxIter: iters, Resume: blob})
-						if err != nil {
-							t.Fatal(err)
-						}
-						compareRuns(t, "resumed", x2, st2, x0, st0)
-						if f0, f2 := mach0.Fingerprint(), mach2.Fingerprint(); f0 != f2 {
-							t.Errorf("resumed machine fingerprint %#x, uninterrupted solve has %#x", f2, f0)
-						}
-					})
-				}
+					}
+				})
 			}
 		})
 	}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package kernels
+
+// raceEnabled is false in ordinary builds; see race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package kernels
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; the paper-scale BiCGStab solve skips itself there (the full
+// 602×595 wafer is an order of magnitude slower under race, and the
+// engine-equivalence contract the test pins is already race-exercised
+// at small scale by the wse difftest and fuzz suites).
+const raceEnabled = true

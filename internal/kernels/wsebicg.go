@@ -48,6 +48,16 @@ type wseBiCG struct {
 	phaseTask []*wse.Task
 	phaseDone []bool
 
+	// Reusable per-tile phase instructions: a paper-scale solve runs
+	// hundreds of thousands of tiles through a dozen-plus phases per
+	// iteration, so allocating fresh instruction objects per phase
+	// (hundreds of MB per solve) would dominate wall time with GC work.
+	// Each phase instead rewrites these in place; phaseTask[i].Instrs
+	// permanently aliases phaseSlot[i].
+	dotIn     []wse.DotMixed
+	axpyIn    []wse.MemOp
+	phaseSlot [][]wse.Instr
+
 	// maxDrift tracks the largest observed |fabric AllReduce − exact|
 	// across all dots of the current solve, as a fraction of the paper
 	// error-model bound (so ≤ 1 means within model).
@@ -91,16 +101,22 @@ func newWSEBiCG(m *wse.Machine, perTile int, arBase fabric.Color, spmv func(src,
 			return nil, fmt.Errorf("kernels: tile %v: %v", t.Coord, err)
 		}
 	}
-	// One reusable phase task per tile: the driver swaps in each phase's
-	// instruction and re-activates it.
+	// One reusable phase task per tile: the driver rewrites each phase's
+	// instruction in place and re-activates it.
 	b.phaseTask = make([]*wse.Task, n)
 	b.phaseDone = make([]bool, n)
+	b.dotIn = make([]wse.DotMixed, n)
+	b.axpyIn = make([]wse.MemOp, n)
+	b.phaseSlot = make([][]wse.Instr, n)
 	for i, t := range m.Tiles {
 		i := i
 		task := &wse.Task{Name: "phase"}
 		task.OnComplete = func(c *wse.Core) { b.phaseDone[i] = true }
 		t.Core.AddTask(task)
 		b.phaseTask[i] = task
+		b.dotIn[i] = wse.DotMixed{Arena: t.Arena, Out: &b.partial[i]}
+		b.axpyIn[i] = wse.MemOp{Arena: t.Arena}
+		b.phaseSlot[i] = make([]wse.Instr, 1)
 	}
 	return b, nil
 }
@@ -229,8 +245,8 @@ func (w *wseBiCG) solve(bvec []fp16.Float16, index func(tile, elem int) int, opt
 		alpha := rho / r0s
 
 		// q := r − α s
-		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
-			return &wse.MemOp{Kind: wse.OpFMA, Arena: t.Arena, S: fp16.FromFloat64(-alpha),
+		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile, op *wse.MemOp) {
+			*op = wse.MemOp{Kind: wse.OpFMA, Arena: t.Arena, S: fp16.FromFloat64(-alpha),
 				Dst: tensor.Vec1D(w.offQ[i], n), A: tensor.Vec1D(w.offS[i], n), B: tensor.Vec1D(w.offR[i], n)}
 		})
 
@@ -250,8 +266,8 @@ func (w *wseBiCG) solve(bvec []fp16.Float16, index func(tile, elem int) int, opt
 		}
 		w.accountDot(&st.Cycles, cyc2)
 		if yy == 0 {
-			w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
-				return &wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(alpha),
+			w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile, op *wse.MemOp) {
+				*op = wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(alpha),
 					Dst: tensor.Vec1D(w.offX[i], n), A: tensor.Vec1D(w.offP[i], n)}
 			})
 			st.Breakdown = "y·y = 0"
@@ -260,17 +276,17 @@ func (w *wseBiCG) solve(bvec []fp16.Float16, index func(tile, elem int) int, opt
 		omega := qy / yy
 
 		// x := x + α p + ω q  (two AXPYs)
-		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
-			return &wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(alpha),
+		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile, op *wse.MemOp) {
+			*op = wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(alpha),
 				Dst: tensor.Vec1D(w.offX[i], n), A: tensor.Vec1D(w.offP[i], n)}
 		})
-		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
-			return &wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(omega),
+		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile, op *wse.MemOp) {
+			*op = wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(omega),
 				Dst: tensor.Vec1D(w.offX[i], n), A: tensor.Vec1D(w.offQ[i], n)}
 		})
 		// r := q − ω y
-		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
-			return &wse.MemOp{Kind: wse.OpFMA, Arena: t.Arena, S: fp16.FromFloat64(-omega),
+		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile, op *wse.MemOp) {
+			*op = wse.MemOp{Kind: wse.OpFMA, Arena: t.Arena, S: fp16.FromFloat64(-omega),
 				Dst: tensor.Vec1D(w.offR[i], n), A: tensor.Vec1D(w.offY[i], n), B: tensor.Vec1D(w.offQ[i], n)}
 		})
 
@@ -298,12 +314,12 @@ func (w *wseBiCG) solve(bvec []fp16.Float16, index func(tile, elem int) int, opt
 		rho = rr
 
 		// p := r + β (p − ω s)  (two AXPYs)
-		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
-			return &wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(-omega),
+		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile, op *wse.MemOp) {
+			*op = wse.MemOp{Kind: wse.OpAxpy, Arena: t.Arena, S: fp16.FromFloat64(-omega),
 				Dst: tensor.Vec1D(w.offP[i], n), A: tensor.Vec1D(w.offS[i], n)}
 		})
-		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile) wse.Instr {
-			return &wse.MemOp{Kind: wse.OpXPAY, Arena: t.Arena, S: fp16.FromFloat64(beta),
+		w.runAxpyPhase(&st.Cycles.Axpy, func(i int, t *wse.Tile, op *wse.MemOp) {
+			*op = wse.MemOp{Kind: wse.OpXPAY, Arena: t.Arena, S: fp16.FromFloat64(beta),
 				Dst: tensor.Vec1D(w.offP[i], n), A: tensor.Vec1D(w.offR[i], n)}
 		})
 	}
@@ -321,15 +337,15 @@ func (w *wseBiCG) solve(bvec []fp16.Float16, index func(tile, elem int) int, opt
 // It returns the exact sum and the combined cycles (local dot phase +
 // allreduce).
 func (w *wseBiCG) dotAllReduce(a, b []int) (float64, [2]int64, error) {
-	instrs := make([]wse.Instr, len(w.m.Tiles))
 	for i, t := range w.m.Tiles {
 		w.partial[i] = 0
-		instrs[i] = &wse.DotMixed{
+		w.dotIn[i] = wse.DotMixed{
 			A: tensor.Vec1D(a[i], w.n), B: tensor.Vec1D(b[i], w.n),
 			Arena: t.Arena, Out: &w.partial[i],
 		}
+		w.phaseSlot[i][0] = &w.dotIn[i]
 	}
-	dotCycles := w.runPhase(instrs)
+	dotCycles := w.runPhase()
 	res, err := w.ar.Run(w.partial, 1<<20)
 	if err != nil {
 		return 0, [2]int64{}, err
@@ -381,22 +397,34 @@ func (w *wseBiCG) accountDot(c *PhaseCycles, cyc [2]int64) {
 	c.AllReduce += cyc[1]
 }
 
-// runAxpyPhase runs one AXPY-class instruction on every tile.
-func (w *wseBiCG) runAxpyPhase(acc *int64, build func(i int, t *wse.Tile) wse.Instr) {
-	instrs := make([]wse.Instr, len(w.m.Tiles))
+// runAxpyPhase runs one AXPY-class instruction on every tile; set
+// rewrites tile i's reusable MemOp in place (whole-value assignment,
+// which also rewinds it).
+func (w *wseBiCG) runAxpyPhase(acc *int64, set func(i int, t *wse.Tile, op *wse.MemOp)) {
 	for i, t := range w.m.Tiles {
-		instrs[i] = build(i, t)
+		set(i, t, &w.axpyIn[i])
+		w.phaseSlot[i][0] = &w.axpyIn[i]
 	}
-	*acc += w.runPhase(instrs)
+	*acc += w.runPhase()
 }
 
-// runPhase executes one instruction per tile as a task and steps the
-// machine until all complete.
-func (w *wseBiCG) runPhase(instrs []wse.Instr) int64 {
+// runPhase executes each tile's phaseSlot instruction as a task and
+// steps the machine until all complete.
+func (w *wseBiCG) runPhase() int64 {
 	for i, t := range w.m.Tiles {
 		w.phaseDone[i] = false
-		w.phaseTask[i].Instrs = []wse.Instr{instrs[i]}
+		w.phaseTask[i].Instrs = w.phaseSlot[i]
 		t.Core.Activate(w.phaseTask[i])
+	}
+	// Dot and AXPY phases are pure per-tile compute with statically
+	// predictable duration; under EngineFastForward the machine skips
+	// straight to the phase-end state (bit- and cycle-identically —
+	// see wse.FastForwardTasks). Any ineligibility falls through to
+	// cycle stepping.
+	if w.m.FastForwardEnabled() {
+		if cycles, ok := w.m.FastForwardTasks(w.phaseTask); ok {
+			return cycles
+		}
 	}
 	cycles, err := w.m.RunUntil(func() bool {
 		for _, d := range w.phaseDone {

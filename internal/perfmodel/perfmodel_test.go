@@ -1,4 +1,4 @@
-package perfmodel
+package perfmodel_test
 
 import (
 	"math"
@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fp16"
 	"repro/internal/kernels"
+	"repro/internal/perfmodel"
 	"repro/internal/stencil"
 	"repro/internal/wse"
 )
@@ -15,7 +16,7 @@ import (
 func TestHeadlineCalibration(t *testing.T) {
 	// The paper-calibrated model must reproduce §V: 28.1 µs/iteration and
 	// 0.86 PFLOPS at ~1/3 of peak.
-	us, pf, frac := HeadlinePrediction(PaperModel())
+	us, pf, frac := perfmodel.HeadlinePrediction(perfmodel.PaperModel())
 	if math.Abs(us-28.1) > 0.3 {
 		t.Errorf("modelled iteration %.2f µs, paper 28.1", us)
 	}
@@ -34,7 +35,7 @@ func TestSimModelPredictsSimulator(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cycle-sim validation in short mode")
 	}
-	model := SimModel()
+	model := perfmodel.SimModel()
 	for _, tc := range []struct{ w, h, z int }{
 		{4, 4, 32}, {4, 4, 64}, {6, 3, 48}, {8, 8, 32}, {3, 6, 96},
 	} {
@@ -60,7 +61,7 @@ func TestSimModelPredictsSimulator(t *testing.T) {
 			t.Fatal(err)
 		}
 		measured := float64(st.PerIteration.Total())
-		wcfg := WSE{W: tc.w, H: tc.h, ClockHz: 1.1e9, SIMD: 4}
+		wcfg := perfmodel.WSE{W: tc.w, H: tc.h, ClockHz: 1.1e9, SIMD: 4}
 		predicted := model.IterationCycles(wcfg, tc.z).Total()
 		ratio := predicted / measured
 		t.Logf("%dx%dx%d: simulator %v cycles/iter, model %.0f (ratio %.2f)",
@@ -97,7 +98,7 @@ func TestAllReduceModelMatchesSimulator(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		w := WSE{W: dims[0], H: dims[1], ClockHz: 1.1e9, SIMD: 4}
+		w := perfmodel.WSE{W: dims[0], H: dims[1], ClockHz: 1.1e9, SIMD: 4}
 		if got, want := w.AllReduceCycles(), float64(res.Cycles); got != want {
 			t.Errorf("%dx%d: model %g cycles, simulator %g", dims[0], dims[1], got, want)
 		}
@@ -109,7 +110,7 @@ func TestAllReduceWaferLatency(t *testing.T) {
 	// measured shape is ~1.25× the diameter — above the paper's ~1.1×
 	// because the 595-row fabric has a single central row serializing
 	// both column halves (the paper's ~1.1× holds on even×even fabrics).
-	w := CS1()
+	w := perfmodel.CS1()
 	sec := w.AllReduceSeconds()
 	if sec >= 1.5e-6 {
 		t.Errorf("wafer AllReduce %.3g s, paper bound 1.5 µs", sec)
@@ -128,7 +129,7 @@ func TestAllReducePaperScalePin(t *testing.T) {
 	// simulator side of the same contract lives in the paper-scale test,
 	// which compares its live measurement against this model.
 	const measured = 1497
-	got := CS1().AllReduceCycles()
+	got := perfmodel.CS1().AllReduceCycles()
 	if rel := math.Abs(got-measured) / measured; rel > 0.01 {
 		t.Errorf("AllReduceCycles(602x595) = %g, simulator measures %d (off %.2f%%)",
 			got, measured, 100*rel)
@@ -137,29 +138,29 @@ func TestAllReducePaperScalePin(t *testing.T) {
 
 func TestMemoryAccounting(t *testing.T) {
 	// §IV: 10·Z words ≈ 31 KB of 48 KB at Z = 1536.
-	if got := TileVectorBytes(1536); got != 30720 {
+	if got := perfmodel.TileVectorBytes(1536); got != 30720 {
 		t.Errorf("tile vector bytes = %d, want 30720 (~31KB)", got)
 	}
-	if maxZ := MaxZ(48 * 1024); maxZ < 2000 || maxZ > 2600 {
+	if maxZ := perfmodel.MaxZ(48 * 1024); maxZ < 2000 || maxZ > 2600 {
 		t.Errorf("max Z = %d, expected ~2457", maxZ)
 	}
 }
 
 func TestBlock2D(t *testing.T) {
 	// §IV-2: blocks up to 38×38 fit; 8×8 blocks overhead < 20%.
-	if b := MaxBlock2D(48 * 1024); b != 38 {
+	if b := perfmodel.MaxBlock2D(48 * 1024); b != 38 {
 		t.Errorf("max 2D block = %d, paper says 38", b)
 	}
-	if ov := Overhead2D(8); ov >= 0.20 {
+	if ov := perfmodel.Overhead2D(8); ov >= 0.20 {
 		t.Errorf("overhead(8) = %.3f, paper says < 20%%", ov)
 	}
-	if ov := Overhead2D(38); ov > Overhead2D(8) {
+	if ov := perfmodel.Overhead2D(38); ov > perfmodel.Overhead2D(8) {
 		t.Error("overhead should decrease with block size")
 	}
 	// Monotone decrease toward the 12.5% diagonal floor.
 	f := func(b8 uint8) bool {
 		b := int(b8%37) + 2
-		return Overhead2D(b) >= Overhead2D(b+1) && Overhead2D(b) > 0.125
+		return perfmodel.Overhead2D(b) >= perfmodel.Overhead2D(b+1) && perfmodel.Overhead2D(b) > 0.125
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -169,8 +170,8 @@ func TestBlock2D(t *testing.T) {
 func TestMachineBalance(t *testing.T) {
 	// Figure 1's story: every conventional system needs orders of
 	// magnitude more flops per word than the wafer.
-	entries := MachineBalance()
-	var cs1 *BalanceEntry
+	entries := perfmodel.MachineBalance()
+	var cs1 *perfmodel.BalanceEntry
 	for i := range entries {
 		if entries[i].WaferScale {
 			cs1 = &entries[i]
@@ -196,8 +197,8 @@ func TestMachineBalance(t *testing.T) {
 func TestFlopAccounting(t *testing.T) {
 	// Table I: 44 ops/meshpoint; §V: 0.86 PFLOPS implies 24.1 Gflop per
 	// iteration over the headline mesh.
-	mesh, us, pf := Headline()
-	flops := FlopsPerIteration(mesh.X, mesh.Y, mesh.Z)
+	mesh, us, pf := perfmodel.Headline()
+	flops := perfmodel.FlopsPerIteration(mesh.X, mesh.Y, mesh.Z)
 	if math.Abs(flops-2.41275e10) > 1e7 {
 		t.Errorf("flops/iteration = %g", flops)
 	}
@@ -208,16 +209,16 @@ func TestFlopAccounting(t *testing.T) {
 }
 
 func TestCalibrateEtaRoundTrip(t *testing.T) {
-	m := SimModel()
-	w := CS1()
+	m := perfmodel.SimModel()
+	w := perfmodel.CS1()
 	eta := m.CalibrateEta(w, 1536, 28.1e-6)
-	if math.Abs(eta-PaperEta) > 0.01 {
-		t.Errorf("calibrated eta %.4f, stored PaperEta %.4f", eta, PaperEta)
+	if math.Abs(eta-perfmodel.PaperEta) > 0.01 {
+		t.Errorf("calibrated eta %.4f, stored perfmodel.PaperEta %.4f", eta, perfmodel.PaperEta)
 	}
 }
 
 func TestShapeSweepMonotone(t *testing.T) {
-	pts := ShapeSweep(PaperModel(), []int{256, 512, 1024, 1536, 2048})
+	pts := perfmodel.ShapeSweep(perfmodel.PaperModel(), []int{256, 512, 1024, 1536, 2048})
 	for i := 1; i < len(pts); i++ {
 		if pts[i].IterMicros <= pts[i-1].IterMicros {
 			t.Error("iteration time must grow with Z")

@@ -1,0 +1,451 @@
+package perfmodel
+
+import "fmt"
+
+// This file generalizes the exact stencil-exchange replay of
+// stencilapply.go from "a fresh fabric, clamped to the dependency
+// horizon" to "the live fabric of a running solver". It is the same
+// word-granular model — occupancy counters, no data — but parameterized
+// by what the live machine actually looks like when a phase starts:
+//
+//   - each router's real route-entry layout, including entries other
+//     subsystems configured (an AllReduce tree, a neighbouring
+//     program). Those entries are quiescent for the whole phase, but
+//     they still occupy arbitration rotation slots, so they shift which
+//     entry the round-robin scan visits first;
+//   - each router's current rotation counter, which a solver advances a
+//     little more on every phase;
+//   - the fabric's current hot set — a router left hot by the previous
+//     phase takes one rotation charge on the first cycle before it
+//     cools;
+//   - the full fabric extent, unclamped, because the caller needs every
+//     tile's exact counters rather than one representative per timing
+//     class.
+//
+// Where StencilApply3D.Cycles answers "how long would one application
+// take on a fresh machine", ExchangeReplay answers "exactly what does
+// one application do to this machine's architectural counters": total
+// cycles and word moves, every router's final rotation and the final
+// hot set (fabric.ApplyReplay's inputs), and every core's busy-cycle
+// and receive-lane tallies (the Machine.Fingerprint-visible datapath
+// counters). stencilc.Program3D's fast-forward path is the consumer;
+// the engine-equivalence tests pin the whole loop bit-for-bit against
+// cycle simulation.
+
+// ReplayEntryKind classifies one configured route entry of a router for
+// the replay.
+type ReplayEntryKind uint8
+
+const (
+	// ReplayDead is an entry of some other subsystem: empty for the
+	// whole phase, never claiming, but still occupying a rotation slot
+	// (the arbitration index is computed modulo the full entry count).
+	ReplayDead ReplayEntryKind = iota
+	// ReplayInject is a ramp entry of a directional exchange color:
+	// words the core sends, forwarded one hop to the neighbour in the
+	// color's direction of travel.
+	ReplayInject
+	// ReplayDeliver is a link entry of a directional exchange color:
+	// words arriving from a neighbour, delivered to the core's receive
+	// buffer for that color.
+	ReplayDeliver
+)
+
+// ReplayEntry mirrors one route entry in arbitration order. Color is
+// the directional exchange color (saEast..saNorth — the direction of
+// travel, stencilc's assignment) and is ignored for ReplayDead.
+type ReplayEntry struct {
+	Kind  ReplayEntryKind
+	Color uint8
+}
+
+// ReplayTx is one round's send leg: Words fabric words injected on a
+// directional color, one per cycle across the ramp.
+type ReplayTx struct {
+	Color int
+	Words int
+}
+
+// ReplayRx is one round's receive leg: Elems fp16 elements consumed
+// from the color's stream buffer through the shared datapath lanes.
+type ReplayRx struct {
+	Color int
+	Elems int
+}
+
+// ReplayStage is one step of a tile's program: Task >= 0 burns that
+// many datapath cycles; Task < 0 is an exchange round whose Tx and Rx
+// legs are given in thread slot order.
+type ReplayStage struct {
+	Task int
+	Tx   []ReplayTx
+	Rx   []ReplayRx
+}
+
+// ReplayTileSpec is the static description of one tile: its router's
+// entry layout and its program's stage list. The spec is captured once
+// by NewExchangeReplay; per-phase state (rotation seeds, the hot set)
+// is passed to Run.
+type ReplayTileSpec struct {
+	Entries []ReplayEntry
+	Stages  []ReplayStage
+}
+
+// ReplayResult is what one replayed application does to the machine.
+// The slices are owned by the ExchangeReplay and valid until its next
+// Run.
+type ReplayResult struct {
+	Cycles int64 // cycles the phase takes, first send to last retire
+	Moves  int64 // fabric word moves
+	Busy   []int64
+	// RxLanes is each core's datapath lane issues from receive threads;
+	// compute-task lanes are statically known to the caller and added
+	// there.
+	RxLanes []int64
+	RR      []int64 // each router's final arbitration rotation
+	Hot     []int   // tiles hot after the final cycle
+}
+
+// xrEntry is a resolved route entry: pointers into the replay's own
+// tile array, stable once built.
+type xrEntry struct {
+	q, dst  *saQ
+	port    uint8
+	dstTile int32 // router tile to re-mark hot on push; -1 for rx delivery
+}
+
+// xrStage is the mutable per-run image of a ReplayStage.
+type xrStage struct {
+	task int
+	tx   []saTx
+	rx   []saRx
+}
+
+type xrTile struct {
+	entries []xrEntry
+	rr      int64
+	hot     bool
+	ramp    [4]saQ
+	link    [4]saQ
+	rx      [4]saQ
+	subbed  [4]bool
+	bufE    [4]int
+
+	spec   []ReplayStage
+	stages []xrStage
+	cur    int
+	start  int64
+	done   bool
+}
+
+// ExchangeReplay replays one application of a compiled exchange-phase
+// program against a live fabric context. Build it once per program
+// (NewExchangeReplay walks every tile's spec); Run resets and replays,
+// so repeated applications cost no allocation beyond the result's hot
+// list.
+type ExchangeReplay struct {
+	w, h  int
+	tiles []xrTile
+
+	hotCur, hotSpare []int
+	pops             []*saQ
+	pushes           []xrPush
+	still            []int
+
+	busy, rxLanes, rrOut []int64
+	deadQ                saQ
+}
+
+type xrPush struct {
+	q    *saQ
+	tile int32
+}
+
+// xrDelta and xrPort map a direction-of-travel color to the neighbour
+// offset and output port a word takes, matching the fabric's geometry.
+var (
+	xrDelta = [4][2]int{saEast: {1, 0}, saWest: {-1, 0}, saSouth: {0, 1}, saNorth: {0, -1}}
+	xrPort  = [4]uint8{saEast: saPortE, saWest: saPortW, saSouth: saPortS, saNorth: saPortN}
+)
+
+// NewExchangeReplay builds the replay for a w×h fabric from per-tile
+// specs (row-major). It panics on an inject entry whose travel
+// direction leaves the fabric — such a route cannot arise from the
+// exchange lowering, so it signals a mis-mapped layout.
+func NewExchangeReplay(w, h int, spec func(ti int) ReplayTileSpec) *ExchangeReplay {
+	n := w * h
+	r := &ExchangeReplay{
+		w: w, h: h,
+		tiles:   make([]xrTile, n),
+		busy:    make([]int64, n),
+		rxLanes: make([]int64, n),
+		rrOut:   make([]int64, n),
+	}
+	for ti := 0; ti < n; ti++ {
+		t := &r.tiles[ti]
+		for c := 0; c < 4; c++ {
+			t.ramp[c].cap = saQueueDepth
+			t.link[c].cap = saQueueDepth
+			t.rx[c].cap = saRxDepth
+		}
+	}
+	for ti := 0; ti < n; ti++ {
+		t := &r.tiles[ti]
+		s := spec(ti)
+		x, y := ti%w, ti/w
+		t.entries = make([]xrEntry, len(s.Entries))
+		for j, e := range s.Entries {
+			switch e.Kind {
+			case ReplayDead:
+				t.entries[j] = xrEntry{q: &r.deadQ, dst: &r.deadQ, dstTile: -1}
+			case ReplayInject:
+				c := int(e.Color)
+				nx, ny := x+xrDelta[c][0], y+xrDelta[c][1]
+				if nx < 0 || nx >= w || ny < 0 || ny >= h {
+					panic(fmt.Sprintf("perfmodel: inject entry at tile %d color %d leaves the fabric", ti, c))
+				}
+				nb := ny*w + nx
+				t.entries[j] = xrEntry{q: &t.ramp[c], dst: &r.tiles[nb].link[c], port: xrPort[c], dstTile: int32(nb)}
+			case ReplayDeliver:
+				c := int(e.Color)
+				t.entries[j] = xrEntry{q: &t.link[c], dst: &t.rx[c], port: saPortRamp, dstTile: -1}
+				t.subbed[c] = true
+			}
+		}
+		t.spec = s.Stages
+		t.stages = make([]xrStage, len(s.Stages))
+		for si, sp := range s.Stages {
+			t.stages[si] = xrStage{
+				tx: make([]saTx, len(sp.Tx)),
+				rx: make([]saRx, len(sp.Rx)),
+			}
+			for k, tx := range sp.Tx {
+				t.stages[si].tx[k].color = tx.Color
+			}
+			for k, rx := range sp.Rx {
+				t.stages[si].rx[k].color = rx.Color
+			}
+		}
+	}
+	return r
+}
+
+// Run replays one application: rr0 seeds each router's rotation, hot0
+// is the fabric's current hot set. The result slices alias the
+// replay's buffers and are valid until the next Run.
+func (r *ExchangeReplay) Run(rr0 func(ti int) int64, hot0 []int) ReplayResult {
+	n := len(r.tiles)
+	for ti := 0; ti < n; ti++ {
+		t := &r.tiles[ti]
+		t.rr = rr0(ti)
+		t.hot = false
+		t.done = false
+		t.cur = -1
+		t.start = 0
+		for c := 0; c < 4; c++ {
+			t.ramp[c].size = 0
+			t.link[c].size = 0
+			t.rx[c].size = 0
+			t.bufE[c] = 0
+		}
+		for si := range t.stages {
+			st := &t.stages[si]
+			sp := &t.spec[si]
+			st.task = sp.Task
+			for k := range st.tx {
+				st.tx[k].rem = sp.Tx[k].Words
+			}
+			for k := range st.rx {
+				st.rx[k].rem = sp.Rx[k].Elems
+			}
+		}
+		r.busy[ti] = 0
+		r.rxLanes[ti] = 0
+	}
+	r.hotCur = r.hotCur[:0]
+	for _, ti := range hot0 {
+		r.markHot(ti)
+	}
+	for ti := 0; ti < n; ti++ {
+		r.advance(&r.tiles[ti], 0)
+	}
+	var moves int64
+	guard := int64(1) << 40
+	for cycle := int64(1); cycle <= guard; cycle++ {
+		alldone := true
+		for ti := 0; ti < n; ti++ {
+			t := &r.tiles[ti]
+			r.stepTile(ti, t, cycle)
+			if !t.done {
+				alldone = false
+			}
+		}
+		moves += r.fabricStep()
+		if alldone {
+			for ti := 0; ti < n; ti++ {
+				r.rrOut[ti] = r.tiles[ti].rr
+			}
+			hot := append([]int(nil), r.hotCur...)
+			return ReplayResult{
+				Cycles: cycle, Moves: moves,
+				Busy: r.busy, RxLanes: r.rxLanes, RR: r.rrOut, Hot: hot,
+			}
+		}
+	}
+	panic("perfmodel: exchange replay did not terminate")
+}
+
+// advance, stepTile and fabricStep mirror the saModel functions of
+// stencilapply.go (which TestStencilApplyModelExact pins to the cycle
+// simulator), plus the live-context extensions: dead rotation slots,
+// seeded rotations, per-tile busy/lane tallies, and a move count.
+
+func (r *ExchangeReplay) advance(t *xrTile, cycle int64) {
+	for {
+		t.cur++
+		if t.cur >= len(t.stages) {
+			t.done = true
+			return
+		}
+		st := &t.stages[t.cur]
+		if st.task < 0 && len(st.tx) == 0 && len(st.rx) == 0 {
+			continue // empty relay round: skipped for free, as in launchRound
+		}
+		break
+	}
+	t.start = cycle + 1
+}
+
+func (r *ExchangeReplay) stepTile(ti int, t *xrTile, cycle int64) {
+	for c := 0; c < 4; c++ {
+		if t.subbed[c] && t.rx[c].size > 0 && t.bufE[c] <= saBufElems-2 {
+			t.rx[c].size--
+			t.bufE[c] += 2
+		}
+	}
+	if t.done || cycle < t.start {
+		return
+	}
+	st := &t.stages[t.cur]
+	if st.task >= 0 {
+		// Every compute-task cycle issues lanes (the instructions are
+		// full-column vector ops), so each burned cycle is a busy one.
+		r.busy[ti]++
+		st.task--
+		if st.task == 0 {
+			r.advance(t, cycle)
+		}
+		return
+	}
+	sent := false
+	for i := range st.tx {
+		tx := &st.tx[i]
+		if tx.rem > 0 && !sent && t.ramp[tx.color].size < t.ramp[tx.color].cap {
+			t.ramp[tx.color].size++
+			r.markHot(ti)
+			tx.rem--
+			sent = true
+		}
+	}
+	lanes := saLanes
+	taken := 0
+	for i := range st.rx {
+		rx := &st.rx[i]
+		if rx.rem > 0 && lanes > 0 {
+			take := rx.rem
+			if t.bufE[rx.color] < take {
+				take = t.bufE[rx.color]
+			}
+			if lanes < take {
+				take = lanes
+			}
+			rx.rem -= take
+			t.bufE[rx.color] -= take
+			lanes -= take
+			taken += take
+		}
+	}
+	if taken > 0 {
+		// A send consumes no datapath lanes; only a cycle that stores
+		// received elements counts as busy, matching the core's
+		// used-lanes accounting.
+		r.busy[ti]++
+		r.rxLanes[ti] += int64(taken)
+	}
+	for i := range st.tx {
+		if st.tx[i].rem > 0 {
+			return
+		}
+	}
+	for i := range st.rx {
+		if st.rx[i].rem > 0 {
+			return
+		}
+	}
+	r.advance(t, cycle)
+}
+
+func (r *ExchangeReplay) markHot(ti int) {
+	t := &r.tiles[ti]
+	if !t.hot {
+		t.hot = true
+		r.hotCur = append(r.hotCur, ti)
+	}
+}
+
+func (r *ExchangeReplay) fabricStep() int64 {
+	cur := r.hotCur
+	r.hotCur = r.hotSpare[:0]
+	r.pops = r.pops[:0]
+	r.pushes = r.pushes[:0]
+	r.still = r.still[:0]
+	for _, ti := range cur {
+		t := &r.tiles[ti]
+		t.hot = false
+		n := len(t.entries)
+		if n == 0 {
+			continue
+		}
+		var claimed uint8
+		hasWords := false
+		idx := int(t.rr % int64(n))
+		for k := 0; k < n; k++ {
+			en := &t.entries[idx]
+			idx++
+			if idx == n {
+				idx = 0
+			}
+			if en.q.size == 0 {
+				continue
+			}
+			hasWords = true
+			if claimed&(1<<en.port) != 0 {
+				continue
+			}
+			if en.dst.size == en.dst.cap {
+				continue
+			}
+			claimed |= 1 << en.port
+			r.pops = append(r.pops, en.q)
+			r.pushes = append(r.pushes, xrPush{q: en.dst, tile: en.dstTile})
+		}
+		t.rr++
+		if hasWords {
+			r.still = append(r.still, ti)
+		}
+	}
+	for _, q := range r.pops {
+		q.size--
+	}
+	for _, p := range r.pushes {
+		p.q.size++
+		if p.tile >= 0 {
+			r.markHot(int(p.tile))
+		}
+	}
+	for _, ti := range r.still {
+		r.markHot(ti)
+	}
+	r.hotSpare = cur
+	return int64(len(r.pops))
+}

@@ -51,7 +51,8 @@ type Program3D struct {
 	X0, Y0 int // global tile coordinate of fabric (0, 0)
 
 	base   fabric.Color
-	rounds int // lateral relay rounds per application, max(Wx, Wy)
+	rounds int   // lateral relay rounds per application, max(Wx, Wy)
+	ff     *ff3d // fast-forward plan, built lazily on first eligible Run
 	tiles  []*tile3D
 
 	partials []float32 // per-tile Σy² when Spec.Reduce == ReduceSumSq
@@ -459,11 +460,17 @@ func (p *Program3D) Done() bool {
 	return true
 }
 
-// Run executes one application under cycle simulation and returns the
-// cycles it took. Off-wafer halo columns must already hold the current
-// neighbouring iterates (the multiwafer host injects them, charging the
-// edge-I/O model separately).
+// Run executes one application and returns the cycles it took.
+// Off-wafer halo columns must already hold the current neighbouring
+// iterates (the multiwafer host injects them, charging the edge-I/O
+// model separately). Under wse.EngineFastForward an eligible
+// application is fast-forwarded — memory advanced by host loops with
+// the same roundings, counters by the exact exchange replay (see
+// ff3d.go) — and anything else falls back to cycle simulation.
 func (p *Program3D) Run(maxCycles int64) (int64, error) {
+	if cycles, ok := p.tryFastForward(maxCycles); ok {
+		return cycles, nil
+	}
 	p.Arm()
 	return p.M.RunUntil(p.Done, maxCycles)
 }

@@ -117,6 +117,37 @@ func (d *Descriptor) Next() int {
 	return pos
 }
 
+// Contig reports whether the descriptor walks a contiguous ascending
+// run of elements — all outer extents 1 and unit inner stride — so a
+// consumer may address its remaining elements as one slice
+// [Pos(), Pos()+Len()-Advanced()) and advance with SkipContig. This is
+// the Vec1D shape, the overwhelmingly common operand layout of the
+// compiled kernels, and what the batched stepping engine requires to
+// execute one decoded instruction across many tiles.
+func (d *Descriptor) Contig() bool {
+	return d.Shape[0] == 1 && d.Shape[1] == 1 && d.Shape[2] == 1 && d.Stride[3] == 1
+}
+
+// SkipContig advances a contiguous descriptor by k elements without
+// emitting addresses, leaving exactly the state k Next() calls would:
+// the partial position while elements remain, or the fully-wrapped rest
+// state (all indices zero) once the extent is exhausted. It panics on a
+// non-contiguous descriptor or an advance past the extent, mirroring
+// Next's misuse contract.
+func (d *Descriptor) SkipContig(k int) {
+	if !d.Contig() || d.n+k > d.Len() {
+		panic("tensor: SkipContig past extent or on non-contiguous descriptor")
+	}
+	d.n += k
+	if d.n >= d.Len() {
+		d.idx[3] = 0
+		d.off = 0
+	} else {
+		d.idx[3] += k
+		d.off += k
+	}
+}
+
 // Offsets materializes the full address sequence; used by tests and by
 // functional-mode kernels that do not need cycle-accurate stepping.
 func (d *Descriptor) Offsets() []int {

@@ -1,0 +1,300 @@
+package wse
+
+import "repro/internal/fp16"
+
+// This file is the batched core-stepping engine (EngineBatched): one
+// decoded instruction executed across every core that is about to do
+// the same thing this cycle.
+//
+// The wafer interior of the compiled stencil kernels is thousands of
+// tiles at the same pc of the same task running the same MemOp/DotMixed
+// over same-length contiguous operands. The scalar interpreter pays the
+// full dispatch — worklist, rx scan, task pick, interface call, tensor
+// odometer — per core per cycle. The batched engine instead classifies
+// each runnable core by the instruction shape it will execute this
+// cycle (classify), groups equal shapes into classes, and runs each
+// class with the operation decoded once and a tight elementwise loop
+// per core (execClass).
+//
+// Exactness contract: classification happens every cycle against the
+// core's live state, and classification IS the divergence check — a
+// core with pending rx words, live threads, a non-contiguous or
+// length-mismatched operand, or any instruction outside the batchable
+// set simply fails eligibility and takes the scalar step() for that
+// cycle. The batched execution itself performs the same element
+// operations in the same order with the same roundings as MemOp.Step /
+// DotMixed.Step, updates the same descriptors, counters and scheduler
+// state, and retires tasks through the same logic — so the machine
+// state after every cycle is bit-identical to the sequential engine's,
+// which the difftest package and FuzzMachineEquivalence enforce.
+//
+// Determinism note: within one cycle cores only touch their own tile
+// (batchable instructions never reach the fabric), so executing class
+// members out of worklist order cannot change any core's state.
+
+// maxBatchClasses bounds the per-shard class table; cores whose shape
+// does not fit an existing class when the table is full fall back to
+// scalar stepping for the cycle (correct either way).
+const maxBatchClasses = 8
+
+// classKey identifies one equivalence class of per-cycle work: the
+// decoded operation and the identical remaining element count.
+type classKey struct {
+	kind MemOpKind
+	rem  int
+	dot  bool
+}
+
+// batchClass is one equivalence class: the key plus the lane block of
+// member cores gathered this cycle.
+type batchClass struct {
+	key   classKey
+	cores []*Core
+}
+
+// batchState is the per-shard scratch of the batched engine, reused
+// across cycles so stepping allocates nothing in steady state.
+type batchState struct {
+	classes []batchClass
+	n       int
+}
+
+// class returns the class for k, creating it if the table has room;
+// nil means "table full, step scalar".
+func (bs *batchState) class(k classKey) *batchClass {
+	for i := 0; i < bs.n; i++ {
+		if bs.classes[i].key == k {
+			return &bs.classes[i]
+		}
+	}
+	if bs.n == maxBatchClasses {
+		return nil
+	}
+	if bs.n == len(bs.classes) {
+		bs.classes = append(bs.classes, batchClass{})
+	}
+	cl := &bs.classes[bs.n]
+	bs.n++
+	cl.key = k
+	cl.cores = cl.cores[:0]
+	return cl
+}
+
+// memOpUsesB reports whether the kind reads the B operand (see
+// MemOp.Step).
+func memOpUsesB(k MemOpKind) bool {
+	switch k {
+	case OpMul, OpAdd, OpFMA, OpMulAcc:
+		return true
+	}
+	return false
+}
+
+// stepShardBatched is the batched counterpart of stepShard: classify
+// every runnable core, step the divergent ones scalar in worklist
+// order, execute each class, then compact the worklist exactly as the
+// scalar engine does.
+func (m *Machine) stepShardBatched(s int) {
+	bs := &m.batch[s]
+	bs.n = 0
+	list := m.runnable[s]
+	for _, c := range list {
+		if key, ok := m.classify(c); ok {
+			if cl := bs.class(key); cl != nil {
+				cl.cores = append(cl.cores, c)
+				continue
+			}
+		}
+		c.step()
+	}
+	for i := 0; i < bs.n; i++ {
+		m.execClass(&bs.classes[i])
+	}
+	w := 0
+	for i := 0; i < len(list); i++ {
+		c := list[i]
+		if c.runnable() {
+			if w != i {
+				list[w] = c
+			}
+			w++
+		} else {
+			c.queued = false
+		}
+	}
+	m.runnable[s] = list[:w]
+}
+
+// classify decides whether c's whole cycle is expressible as one
+// batchable operation, and performs the scalar step's cheap prefix
+// (send-gate reset, task pick) along the way — every mutation here is
+// exactly what step() would do first and is idempotent under a scalar
+// fallback, so a "false" return loses nothing.
+func (m *Machine) classify(c *Core) (classKey, bool) {
+	var k classKey
+	// Pending rx words mean deliveries (or full-subscriber stalls) that
+	// only the scalar path models; rxArmed caches "all subscribed
+	// receive queues proven empty" so steady-state compute phases skip
+	// the scan.
+	if len(c.subColors) > 0 && c.rxArmed {
+		for _, col := range c.subColors {
+			if m.Fab.RxLen(c.tile.Coord, col) > 0 {
+				return k, false
+			}
+		}
+		c.rxArmed = false
+	}
+	if c.nthreads > 0 {
+		return k, false
+	}
+	c.sentThisCycle = false
+	if c.current == nil {
+		t := c.pick()
+		if t == nil {
+			return k, false
+		}
+		c.current = t
+		t.running = true
+		t.activated = false
+		t.pc = 0
+	}
+	t := c.current
+	if t.pc >= len(t.Instrs) {
+		return k, false
+	}
+	switch op := t.Instrs[t.pc].(type) {
+	case *MemOp:
+		rem := op.Dst.Len() - op.Dst.Advanced()
+		if rem <= 0 || !op.Dst.Contig() || !op.A.Contig() || op.A.Len()-op.A.Advanced() != rem {
+			return k, false
+		}
+		if memOpUsesB(op.Kind) && (!op.B.Contig() || op.B.Len()-op.B.Advanced() != rem) {
+			return k, false
+		}
+		return classKey{kind: op.Kind, rem: rem}, true
+	case *DotMixed:
+		if m.Cfg.SIMDWidth < 2 {
+			// The scalar datapath cannot issue a 2-lane FMAC at all at
+			// SIMDWidth 1; preserve its (wedging) behavior.
+			return k, false
+		}
+		rem := op.A.Len() - op.A.Advanced()
+		if rem <= 0 || !op.A.Contig() || !op.B.Contig() || op.B.Len()-op.B.Advanced() != rem {
+			return k, false
+		}
+		return classKey{rem: rem, dot: true}, true
+	}
+	return k, false
+}
+
+// execClass runs one cycle of every core in the class: the per-cycle
+// element count is decided once from the key, and each member executes
+// the same tight loop — same element order, same roundings, same
+// counter updates as the scalar interpreter.
+func (m *Machine) execClass(cl *batchClass) {
+	if cl.key.dot {
+		e := m.Cfg.SIMDWidth / 2
+		if e > cl.key.rem {
+			e = cl.key.rem
+		}
+		for _, c := range cl.cores {
+			t := c.current
+			op := t.Instrs[t.pc].(*DotMixed)
+			a := op.Arena.Slice(op.A.Pos(), e)
+			b := op.Arena.Slice(op.B.Pos(), e)
+			acc := op.acc
+			for j := 0; j < e; j++ {
+				acc = fp16.MixedFMAC(acc, a[j], b[j])
+			}
+			op.acc = acc
+			op.began = true
+			op.A.SkipContig(e)
+			op.B.SkipContig(e)
+			c.busyCycles++
+			c.lanesUsed += int64(2 * e)
+			if e == cl.key.rem {
+				if op.Out != nil {
+					*op.Out = op.acc
+				}
+				m.retireCurrent(c)
+			}
+		}
+		return
+	}
+	n := m.Cfg.SIMDWidth
+	if n > cl.key.rem {
+		n = cl.key.rem
+	}
+	usesB := memOpUsesB(cl.key.kind)
+	for _, c := range cl.cores {
+		t := c.current
+		op := t.Instrs[t.pc].(*MemOp)
+		// Slices view live arena memory, so overlapping operands (the
+		// FIFO-draining accumulate-in-place patterns) behave exactly as
+		// the scalar element loop: element j is fully read and written
+		// before element j+1.
+		d := op.Arena.Slice(op.Dst.Pos(), n)
+		a := op.Arena.Slice(op.A.Pos(), n)
+		var b []fp16.Float16
+		if usesB {
+			b = op.Arena.Slice(op.B.Pos(), n)
+		}
+		switch cl.key.kind {
+		case OpMul:
+			for j := 0; j < n; j++ {
+				d[j] = fp16.Mul(a[j], b[j])
+			}
+		case OpAdd:
+			for j := 0; j < n; j++ {
+				d[j] = fp16.Add(a[j], b[j])
+			}
+		case OpAxpy:
+			for j := 0; j < n; j++ {
+				d[j] = fp16.FMA(op.S, a[j], d[j])
+			}
+		case OpCopy:
+			copy(d, a)
+		case OpFMA:
+			for j := 0; j < n; j++ {
+				d[j] = fp16.FMA(op.S, a[j], b[j])
+			}
+		case OpXPAY:
+			for j := 0; j < n; j++ {
+				d[j] = fp16.FMA(op.S, d[j], a[j])
+			}
+		case OpMulAcc:
+			for j := 0; j < n; j++ {
+				d[j] = fp16.Add(d[j], fp16.Mul(a[j], b[j]))
+			}
+		}
+		op.started = true
+		op.Dst.SkipContig(n)
+		op.A.SkipContig(n)
+		if usesB {
+			op.B.SkipContig(n)
+		}
+		c.busyCycles++
+		c.lanesUsed += int64(n)
+		if n == cl.key.rem {
+			m.retireCurrent(c)
+		}
+	}
+}
+
+// retireCurrent applies the scalar step's retire phase to a core whose
+// current instruction just completed: advance past done instructions,
+// and finish the task (running flag, OnComplete) when the body is
+// exhausted.
+func (m *Machine) retireCurrent(c *Core) {
+	t := c.current
+	for t.pc < len(t.Instrs) && t.Instrs[t.pc].Done() {
+		t.pc++
+	}
+	if t.pc >= len(t.Instrs) {
+		t.running = false
+		c.current = nil
+		if t.OnComplete != nil {
+			t.OnComplete(c)
+		}
+	}
+}

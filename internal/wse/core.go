@@ -37,6 +37,9 @@ type Task struct {
 	activated bool
 	running   bool
 	pc        int
+	// core is the owning core, set by AddTask; the fast-forward path
+	// (ff.go) uses it to reach a task's scheduler state.
+	core *Core
 }
 
 // Thread is a background thread slot running one asynchronous vector
@@ -81,6 +84,10 @@ type Core struct {
 	// array is deterministic by construction, and branch-lean.)
 	subs      *[fabric.MaxColors][]*StreamBuf
 	subColors []fabric.Color
+	// subMask is the bitmask form of subColors, used by the machine's
+	// rx-delivery wake to drop deliveries on colors this core does not
+	// consume (other subsystems' traffic to the same ramp).
+	subMask uint32
 
 	// scratch is the persistent datapath-unit list reused by step, so
 	// the hot path allocates nothing per cycle.
@@ -90,7 +97,22 @@ type Core struct {
 	// cleared by the machine when the core steps without runnable work).
 	queued bool
 
+	// ffMark is FastForwardTasks' transient "this core owns one of the
+	// phase's tasks" marker, always false outside that call; a field
+	// rather than a set so eligibility checks allocate nothing at
+	// wafer scale.
+	ffMark bool
+
 	sentThisCycle bool
+
+	// rxArmed marks that words may be pending at the ramp for a
+	// subscribed color: set on every rx delivery (and conservatively at
+	// construction, subscription and snapshot restore), cleared by the
+	// batched engine once a full scan finds every subscribed receive
+	// queue empty. It lets the classifier skip the per-color RxLen scan
+	// in steady-state compute phases; purely a host-side cache, never
+	// part of architectural state.
+	rxArmed bool
 
 	// Stats. Idle cycles are skipped entirely, so the denominators in
 	// Utilization come from the machine cycle counter, not a per-core
@@ -101,7 +123,7 @@ type Core struct {
 }
 
 func newCore(m *Machine, t *Tile) *Core {
-	return &Core{m: m, tile: t}
+	return &Core{m: m, tile: t, rxArmed: true}
 }
 
 // wake puts the core on its shard's runnable worklist. Idempotent and
@@ -117,6 +139,7 @@ func (c *Core) wake() {
 // AddTask registers a task with the scheduler. Tasks start deactivated;
 // use Activate (or Task.activated via TaskState) to make them runnable.
 func (c *Core) AddTask(t *Task) *Task {
+	t.core = c
 	c.tasks = append(c.tasks, t)
 	if t.activated && !t.blocked {
 		c.wake()
@@ -168,9 +191,11 @@ func (c *Core) Subscribe(col fabric.Color, b *StreamBuf) {
 	}
 	if len(c.subs[col]) == 0 {
 		c.subColors = append(c.subColors, col)
+		c.subMask |= 1 << col
 	}
 	c.subs[col] = append(c.subs[col], b)
 	// Words may already be waiting at the ramp for this color.
+	c.rxArmed = true
 	c.wake()
 }
 

@@ -14,29 +14,47 @@ import (
 // contract at machine level, mirroring the fabric's FuzzRouterDelivery:
 // a randomized program of task graphs (activate/block/unblock chains on
 // completion), background threads, fabric sends and stream consumers is
-// built identically on a sequential machine and a sharded one, stepped
-// in lockstep, and the complete per-cycle core-state fingerprint
-// (Machine.Fingerprint: scheduler flags, pcs, thread slots, stream
-// buffers, plus the fabric state) must match every cycle. This is what
-// keeps the event-driven worklist engine from silently diverging from
-// the step-every-core-every-cycle semantics. Seed corpus in
-// testdata/fuzz/FuzzMachineEquivalence; CI runs this in fuzz-smoke.
+// built identically on two machines running a randomly drawn pair of
+// distinct stepping engines (sequential, sharded, batched,
+// fast-forward), stepped in lockstep, and the complete per-cycle
+// core-state fingerprint (Machine.Fingerprint: scheduler flags, pcs,
+// thread slots, stream buffers, plus the fabric state) must match every
+// cycle. This is what keeps the event-driven worklist engine — and the
+// batched engine's equivalence-class execution with its scalar
+// fallback — from silently diverging from the step-every-core-every-
+// cycle semantics. Seed corpus in testdata/fuzz/FuzzMachineEquivalence;
+// CI runs this in fuzz-smoke.
 func FuzzMachineEquivalence(f *testing.F) {
 	f.Add(int64(1), uint64(0x0303), uint64(40))
 	f.Add(int64(7), uint64(0x0204), uint64(24))
 	f.Add(int64(-3), uint64(0x0602), uint64(64))
 	f.Add(int64(99), uint64(0x0505), uint64(96))
+	f.Add(int64(11), uint64(0x0404), uint64(48))
+	f.Add(int64(-57), uint64(0x0306), uint64(80))
+	f.Add(int64(2025), uint64(0x0503), uint64(56))
+	f.Add(int64(-1048576), uint64(0x0205), uint64(112))
 	f.Fuzz(func(t *testing.T, seed int64, dims, cycles uint64) {
 		w := int(dims&0xff)%5 + 2
 		h := int((dims>>8)&0xff)%5 + 2
 		n := int(cycles%120) + 8
 		workers := rand.New(rand.NewSource(seed)).Intn(6) + 2
 
+		// The engine pair under test: two distinct engines drawn from
+		// the full matrix, the sharded one keeping the fuzzed worker
+		// count so shard-boundary schedules stay covered.
+		engines := []Engine{EngineSequential, EngineSharded, EngineBatched, EngineFastForward}
+		er := rand.New(rand.NewSource(seed ^ int64(dims)<<17 ^ int64(cycles)))
+		ei := er.Intn(len(engines))
+		ej := (ei + 1 + er.Intn(len(engines)-1)) % len(engines)
+
 		// build constructs the same randomized program on any machine:
 		// a fresh rng with the same seed makes every draw identical.
-		build := func(wk int) *Machine {
+		build := func(e Engine) *Machine {
 			cfg := CS1(w, h)
-			cfg.Workers = wk
+			cfg.Engine = e
+			if e == EngineSharded {
+				cfg.Workers = workers
+			}
 			m := New(cfg)
 			r := rand.New(rand.NewSource(seed + 1))
 			nextSlot := make([]int, w*h) // per-tile thread slot allocator
@@ -144,24 +162,26 @@ func FuzzMachineEquivalence(f *testing.F) {
 			return m
 		}
 
-		seq := build(1)
-		defer seq.Close()
-		par := build(workers)
-		defer par.Close()
-		if seq.Fab.StepperName() == par.Fab.StepperName() {
-			t.Fatalf("engine selection broken: both %q", seq.Fab.StepperName())
+		ma := build(engines[ei])
+		defer ma.Close()
+		mb := build(engines[ej])
+		defer mb.Close()
+		if ma.EngineName() == mb.EngineName() {
+			t.Fatalf("engine selection broken: both %q", ma.EngineName())
 		}
+		t.Logf("engine pair: %s vs %s", ma.EngineName(), mb.EngineName())
 
 		for cyc := 0; cyc < n; cyc++ {
-			seq.Step()
-			par.Step()
-			if fa, fb := seq.Fingerprint(), par.Fingerprint(); fa != fb {
-				t.Fatalf("cycle %d: machine fingerprints diverge: seq %#x %s %#x",
-					cyc, fa, par.Fab.StepperName(), fb)
+			ma.Step()
+			mb.Step()
+			if fa, fb := ma.Fingerprint(), mb.Fingerprint(); fa != fb {
+				t.Fatalf("cycle %d: machine fingerprints diverge: %s %#x %s %#x",
+					cyc, ma.EngineName(), fa, mb.EngineName(), fb)
 			}
 		}
-		if a, b := seq.AllIdle(), par.AllIdle(); a != b {
-			t.Fatalf("AllIdle diverges after %d cycles: seq %v par %v", n, a, b)
+		if a, b := ma.AllIdle(), mb.AllIdle(); a != b {
+			t.Fatalf("AllIdle diverges after %d cycles: %s %v %s %v",
+				n, ma.EngineName(), a, mb.EngineName(), b)
 		}
 	})
 }

@@ -305,6 +305,14 @@ type DotMixed struct {
 	began bool
 }
 
+// Reset rewinds the instruction for reuse.
+func (d *DotMixed) Reset() {
+	d.A.Reset()
+	d.B.Reset()
+	d.acc = 0
+	d.began = false
+}
+
 // Done implements Instr.
 func (d *DotMixed) Done() bool { return d.began && d.A.Done() }
 

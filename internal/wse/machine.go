@@ -48,6 +48,11 @@ type Config struct {
 	// either way — see the fabric package's determinism contract — so
 	// this is purely a host-side throughput knob.
 	Workers int
+	// Engine selects the core-stepping engine (see Engine). EngineAuto
+	// resolves from Workers and the -wse.engine flag override. The
+	// batched and fast-forward engines imply a sequential fabric
+	// stepper; Workers is ignored for them.
+	Engine Engine
 }
 
 // CS1 returns the configuration of the machine in the paper, with the
@@ -129,17 +134,25 @@ type Machine struct {
 	// fabric directly (kernels.AllReduce), which must not dilute
 	// utilization the cores never had a cycle to use.
 	steps int64
+
+	// engine is the resolved stepping engine (see resolveEngine).
+	engine Engine
+	// batch is the per-shard class-grouping scratch of the batched
+	// engine, allocated once; see batch.go.
+	batch []batchState
 }
 
 // New builds a machine.
 func New(cfg Config) *Machine {
 	cfg = cfg.withDefaults()
+	engine := resolveEngine(cfg)
 	stepper := fabric.Sequential()
-	if cfg.Workers > 1 {
+	if engine == EngineSharded {
 		stepper = fabric.Sharded(cfg.Workers)
 	}
 	m := &Machine{
-		Cfg: cfg,
+		Cfg:    cfg,
+		engine: engine,
 		Fab: fabric.New(fabric.Config{
 			W: cfg.FabricW, H: cfg.FabricH,
 			QueueDepth: cfg.QueueDepth, RxDepth: cfg.RxDepth,
@@ -163,17 +176,24 @@ func New(cfg Config) *Machine {
 		t.Core.shard = m.Fab.ShardOf(i)
 		m.Tiles[i] = t
 	}
-	m.coreStep = func(lo, hi int) { m.stepShard(m.loShard[lo]) }
+	if m.engine == EngineBatched || m.engine == EngineFastForward {
+		m.batch = make([]batchState, len(ranges))
+		m.coreStep = func(lo, hi int) { m.stepShardBatched(m.loShard[lo]) }
+	} else {
+		m.coreStep = func(lo, hi int) { m.stepShard(m.loShard[lo]) }
+	}
 	// Words arriving at a tile's ramp wake its core; the callback runs
 	// on the owning shard (see fabric.Fabric.OnRxDelivery), so the
-	// worklist append is shard-local. Cores with no stream
-	// subscriptions ignore the wake: their step would not touch the rx
-	// buffer, and host-side kernels that drive the fabric directly
-	// (kernels.AllReduce) deliver to ramps of unsubscribed cores — those
-	// wakes must not pollute the worklists of a machine that is never
-	// core-stepped, or AllIdle would misreport a fully idle machine.
-	m.Fab.OnRxDelivery(func(tile int) {
-		if c := m.Tiles[tile].Core; len(c.subColors) > 0 {
+	// worklist append is shard-local. Only deliveries on colors the
+	// core subscribes to wake it: its step would not touch any other
+	// receive queue, and host-side kernels that drive the fabric
+	// directly (kernels.AllReduce) deliver to the same ramps on their
+	// own colors — those wakes must not pollute the worklists of a
+	// machine whose cores are all idle, or AllIdle would misreport an
+	// idle machine and fast-forward eligibility would be lost.
+	m.Fab.OnRxDelivery(func(tile int, col fabric.Color) {
+		if c := m.Tiles[tile].Core; c.subMask&(1<<col) != 0 {
+			c.rxArmed = true
 			c.wake()
 		}
 	})

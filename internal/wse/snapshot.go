@@ -181,6 +181,10 @@ func (m *Machine) Restore(s *Snapshot) error {
 		}
 		c.sentThisCycle = cs.Sent
 		c.busyCycles, c.lanesUsed = cs.Busy, cs.Lanes
+		// The restored fabric may hold rx words the captured machine had
+		// not delivered yet; re-arm conservatively (rxArmed is a
+		// host-side cache, not architectural state).
+		c.rxArmed = true
 		nb := 0
 		for _, col := range c.subColors {
 			for _, b := range c.subs[col] {

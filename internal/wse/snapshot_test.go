@@ -350,5 +350,37 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 		if !bytes.Equal(b1, b2) {
 			t.Fatal("marshal/unmarshal/marshal is not byte-stable")
 		}
+
+		// Batched-engine leg: any decodable snapshot that fits the 2×1
+		// reference shape must behave identically under the sequential
+		// and batched engines — Restore accepts or rejects it on both,
+		// and an accepted restore leaves equal fingerprints that stay
+		// equal under lockstep stepping.
+		if s.FabricW == 2 && s.FabricH == 1 {
+			mkRestored := func(e Engine) (*Machine, error) {
+				cfg := CS1(2, 1)
+				cfg.Engine = e
+				rm := New(cfg)
+				buildSnapProg(rm)
+				return rm, rm.Restore(s)
+			}
+			mseq, errSeq := mkRestored(EngineSequential)
+			defer mseq.Close()
+			mbat, errBat := mkRestored(EngineBatched)
+			defer mbat.Close()
+			if (errSeq == nil) != (errBat == nil) {
+				t.Fatalf("Restore verdict diverges across engines: seq %v, batched %v", errSeq, errBat)
+			}
+			if errSeq != nil {
+				return
+			}
+			for cyc := 0; cyc < 32; cyc++ {
+				if fa, fb := mseq.Fingerprint(), mbat.Fingerprint(); fa != fb {
+					t.Fatalf("restored fingerprints diverge at cycle %d: seq %#x, batched %#x", cyc, fa, fb)
+				}
+				mseq.Step()
+				mbat.Step()
+			}
+		}
 	})
 }
